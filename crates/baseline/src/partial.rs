@@ -1,0 +1,428 @@
+//! Incremental partial-schedule state shared by the baseline schedulers.
+//!
+//! Tracks, for a growing prefix of scheduled tasks: per-core availability,
+//! per-region availability and currently-loaded module, the busy intervals
+//! of the single reconfiguration controller (supporting prefetch into
+//! gaps), committed fabric resources and the partial makespan. Options for
+//! the next task are enumerated by [`PartialSchedule::enumerate_options`]
+//! and applied with [`PartialSchedule::apply`]; branch-and-bound search
+//! clones the state per branch (it is small).
+
+use prfpga_model::{
+    ImplId, Placement, ProblemInstance, Reconfiguration, Region, RegionId, ResourceVec, Schedule,
+    TaskAssignment, TaskId, Time,
+};
+
+/// One region in the partial schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionState {
+    /// Resource budget, fixed when the region is opened.
+    pub res: ResourceVec,
+    /// Module currently configured (the implementation of the last task
+    /// hosted or prefetched).
+    pub loaded: ImplId,
+    /// Tick from which the region is free (end of its last task).
+    pub free_from: Time,
+    /// Number of hosted tasks.
+    pub task_count: usize,
+}
+
+/// One scheduling option for a task: implementation, placement, and the
+/// times that placement induces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskOption {
+    /// Chosen implementation.
+    pub impl_id: ImplId,
+    /// `Some(s)` reuses region `s`; `None` with a hardware implementation
+    /// opens a new region; irrelevant for software.
+    pub region: Option<usize>,
+    /// Core for software options.
+    pub core: Option<usize>,
+    /// Induced reconfiguration `(controller, start, end)` if one is needed.
+    pub reconf: Option<(usize, Time, Time)>,
+    /// Task start tick.
+    pub start: Time,
+    /// Task end tick.
+    pub end: Time,
+}
+
+/// A partial schedule over a prefix of the task list.
+#[derive(Debug, Clone)]
+pub struct PartialSchedule<'a> {
+    inst: &'a ProblemInstance,
+    /// Per-task decision (`None` = not yet scheduled).
+    pub decisions: Vec<Option<TaskAssignment>>,
+    /// Regions opened so far.
+    pub regions: Vec<RegionState>,
+    /// Reconfigurations committed so far.
+    pub reconfigurations: Vec<Reconfiguration>,
+    /// Per-core availability.
+    pub core_free: Vec<Time>,
+    /// Sorted busy intervals per reconfiguration controller (one list in
+    /// the paper's single-controller model).
+    pub icap_busy: Vec<Vec<(Time, Time)>>,
+    /// Fabric resources committed to regions.
+    pub used_res: ResourceVec,
+    /// Current partial makespan.
+    pub makespan: Time,
+}
+
+impl<'a> PartialSchedule<'a> {
+    /// Empty partial schedule.
+    pub fn new(inst: &'a ProblemInstance) -> Self {
+        PartialSchedule {
+            inst,
+            decisions: vec![None; inst.graph.len()],
+            regions: Vec::new(),
+            reconfigurations: Vec::new(),
+            core_free: vec![0; inst.architecture.num_processors],
+            icap_busy: vec![Vec::new(); inst.architecture.num_reconfig_controllers.max(1)],
+            used_res: ResourceVec::ZERO,
+            makespan: 0,
+        }
+    }
+
+    /// Earliest tick at which `t` may start: all predecessors scheduled
+    /// and finished. Panics if a predecessor is unscheduled (the callers
+    /// process tasks in topological order). Ignores communication costs;
+    /// use [`PartialSchedule::ready_time_for`] when they matter.
+    pub fn ready_time(&self, t: TaskId) -> Time {
+        self.ready_time_for(t, None)
+    }
+
+    /// Earliest start of `t` if it were placed at `placement`
+    /// (`None` = a fresh region, co-located with nothing): predecessors'
+    /// end times plus the edge communication cost for non-co-located
+    /// producers (zero-cost edges are unaffected).
+    pub fn ready_time_for(&self, t: TaskId, placement: Option<Placement>) -> Time {
+        self.inst
+            .graph
+            .edges_with_costs()
+            .filter(|&(_, to, _)| to == t)
+            .map(|(from, _, cost)| {
+                let d = self.decisions[from.index()]
+                    .as_ref()
+                    .expect("predecessors scheduled first (topological order)");
+                let comm = match placement {
+                    Some(p) if cost > 0 && d.placement.colocated(p) => 0,
+                    _ => cost,
+                };
+                d.end + comm
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// First gap of length `dur` across all controllers starting at or
+    /// after `earliest`; returns `(controller, start)` for the controller
+    /// offering the earliest slot (ties: lowest index).
+    pub fn icap_first_fit(&self, earliest: Time, dur: Time) -> (usize, Time) {
+        self.icap_busy
+            .iter()
+            .enumerate()
+            .map(|(c, busy)| {
+                let mut candidate = earliest;
+                for &(s, e) in busy {
+                    if candidate + dur <= s {
+                        break;
+                    }
+                    if e > candidate {
+                        candidate = e;
+                    }
+                }
+                (c, candidate)
+            })
+            .min_by_key(|&(c, start)| (start, c))
+            .expect("at least one controller")
+    }
+
+    /// Enumerates every legal option for task `t` (capacity limited by the
+    /// device's `max_res`), given its ready time.
+    pub fn enumerate_options(&self, t: TaskId, module_reuse: bool) -> Vec<TaskOption> {
+        let device = &self.inst.architecture.device;
+        let mut out = Vec::new();
+
+        for &impl_id in &self.inst.graph.task(t).impls {
+            let imp = self.inst.impls.get(impl_id);
+            if imp.is_software() {
+                // Distinct core availabilities only (cores are homogeneous,
+                // identical free times are symmetric)... unless
+                // communication costs make the *identity* of the core
+                // matter; then every core is a distinct option.
+                let has_comm = self
+                    .inst
+                    .graph
+                    .edges_with_costs()
+                    .any(|(_, to, c)| to == t && c > 0);
+                let mut seen = Vec::new();
+                for (p, &free) in self.core_free.iter().enumerate() {
+                    if !has_comm && seen.contains(&free) {
+                        continue;
+                    }
+                    seen.push(free);
+                    let ready = self.ready_time_for(t, Some(Placement::Core(p)));
+                    let start = ready.max(free);
+                    out.push(TaskOption {
+                        impl_id,
+                        region: None,
+                        core: Some(p),
+                        reconf: None,
+                        start,
+                        end: start + imp.time,
+                    });
+                }
+                continue;
+            }
+            let res = imp.resources();
+            // Reuse an existing region.
+            for (s, region) in self.regions.iter().enumerate() {
+                if !res.fits_in(&region.res) {
+                    continue;
+                }
+                let ready = self.ready_time_for(t, Some(Placement::Region(RegionId(s as u32))));
+                if module_reuse && region.loaded == impl_id {
+                    // Same module already configured: no reconfiguration.
+                    let start = ready.max(region.free_from);
+                    out.push(TaskOption {
+                        impl_id,
+                        region: Some(s),
+                        core: None,
+                        reconf: None,
+                        start,
+                        end: start + imp.time,
+                    });
+                } else {
+                    // Prefetchable reconfiguration: may start as soon as the
+                    // region drains, in the first controller gap.
+                    let dur = device.reconf_time(&region.res);
+                    let (ctrl, rs) = self.icap_first_fit(region.free_from, dur);
+                    let re = rs + dur;
+                    let start = ready.max(re);
+                    out.push(TaskOption {
+                        impl_id,
+                        region: Some(s),
+                        core: None,
+                        reconf: Some((ctrl, rs, re)),
+                        start,
+                        end: start + imp.time,
+                    });
+                }
+            }
+            // Open a new region (first configuration rides the initial
+            // bitstream: no reconfiguration task; co-located with nothing).
+            if (self.used_res + res).fits_in(&device.max_res) {
+                let ready = self.ready_time_for(t, None);
+                out.push(TaskOption {
+                    impl_id,
+                    region: None,
+                    core: None,
+                    reconf: None,
+                    start: ready,
+                    end: ready + imp.time,
+                });
+            }
+        }
+        out
+    }
+
+    /// Applies an option for task `t`.
+    pub fn apply(&mut self, t: TaskId, opt: &TaskOption) {
+        let imp = self.inst.impls.get(opt.impl_id);
+        let placement = if imp.is_software() {
+            let p = opt.core.expect("software option carries a core");
+            self.core_free[p] = opt.end;
+            Placement::Core(p)
+        } else {
+            let s = match opt.region {
+                Some(s) => s,
+                None => {
+                    let res = imp.resources();
+                    self.used_res += res;
+                    self.regions.push(RegionState {
+                        res,
+                        loaded: opt.impl_id,
+                        free_from: 0,
+                        task_count: 0,
+                    });
+                    self.regions.len() - 1
+                }
+            };
+            if let Some((ctrl, rs, re)) = opt.reconf {
+                let busy = &mut self.icap_busy[ctrl];
+                let pos = busy.partition_point(|&(s0, _)| s0 < rs);
+                busy.insert(pos, (rs, re));
+                self.reconfigurations.push(Reconfiguration {
+                    region: RegionId(s as u32),
+                    loads_impl: opt.impl_id,
+                    outgoing_task: t,
+                    start: rs,
+                    end: re,
+                });
+            }
+            let region = &mut self.regions[s];
+            region.loaded = opt.impl_id;
+            region.free_from = opt.end;
+            region.task_count += 1;
+            Placement::Region(RegionId(s as u32))
+        };
+        self.decisions[t.index()] = Some(TaskAssignment {
+            impl_id: opt.impl_id,
+            placement,
+            start: opt.start,
+            end: opt.end,
+        });
+        self.makespan = self.makespan.max(opt.end);
+    }
+
+    /// Converts a complete partial schedule into the final artifact.
+    /// Panics if any task is unscheduled.
+    pub fn into_schedule(self) -> Schedule {
+        Schedule {
+            regions: self
+                .regions
+                .into_iter()
+                .map(|r| Region { res: r.res })
+                .collect(),
+            assignments: self
+                .decisions
+                .into_iter()
+                .map(|d| d.expect("all tasks scheduled"))
+                .collect(),
+            reconfigurations: self.reconfigurations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::{Architecture, Device, ImplPool, Implementation, TaskGraph};
+
+    fn instance() -> ProblemInstance {
+        let mut pool = ImplPool::new();
+        let mut g = TaskGraph::new();
+        let sa = pool.add(Implementation::software("sa", 100));
+        let ha = pool.add(Implementation::hardware("ha", 10, ResourceVec::new(5, 0, 0)));
+        let a = g.add_task("a", vec![sa, ha]);
+        let sb = pool.add(Implementation::software("sb", 90));
+        let hb = pool.add(Implementation::hardware("hb", 8, ResourceVec::new(4, 0, 0)));
+        let b = g.add_task("b", vec![sb, hb]);
+        g.add_edge(a, b);
+        ProblemInstance::new(
+            "p",
+            Architecture::new(2, Device::tiny_test(ResourceVec::new(8, 0, 0), 1)),
+            g,
+            pool,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_sw_hw_and_new_region_options() {
+        let inst = instance();
+        let ps = PartialSchedule::new(&inst);
+        let opts = ps.enumerate_options(TaskId(0), true);
+        // 1 SW option (cores symmetric at t=0) + 1 new-region option.
+        assert_eq!(opts.len(), 2);
+        assert!(opts.iter().any(|o| o.core.is_some() && o.end == 100));
+        assert!(opts
+            .iter()
+            .any(|o| o.core.is_none() && o.region.is_none() && o.end == 10));
+    }
+
+    #[test]
+    fn region_reuse_with_and_without_module_reuse() {
+        let inst = instance();
+        let mut ps = PartialSchedule::new(&inst);
+        // Schedule task a in hardware (new region, 5 CLB).
+        let opt = ps
+            .enumerate_options(TaskId(0), true)
+            .into_iter()
+            .find(|o| o.core.is_none())
+            .unwrap();
+        ps.apply(TaskId(0), &opt);
+        assert_eq!(ps.regions.len(), 1);
+        assert_eq!(ps.used_res, ResourceVec::new(5, 0, 0));
+
+        // Task b options: SW, reuse region (4 <= 5, different impl =>
+        // reconfiguration of 5 ticks), or a new region (4 CLB fits in the
+        // remaining 3? no: 5+4=9 > 8 -> no new region).
+        let opts = ps.enumerate_options(TaskId(1), true);
+        assert!(opts.iter().all(|o| !(o.core.is_none() && o.region.is_none())));
+        let reuse = opts.iter().find(|o| o.region == Some(0)).unwrap();
+        let (ctrl, rs, re) = reuse.reconf.expect("different module needs reconfiguration");
+        assert_eq!((ctrl, rs, re), (0, 10, 15), "prefetch right after region drains");
+        assert_eq!(reuse.start, 15);
+        assert_eq!(reuse.end, 23);
+    }
+
+    #[test]
+    fn module_reuse_skips_reconfiguration() {
+        // Two independent tasks sharing one implementation.
+        let mut pool = ImplPool::new();
+        let sw = pool.add(Implementation::software("sw", 100));
+        let hw = pool.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let mut g = TaskGraph::new();
+        g.add_task("a", vec![sw, hw]);
+        g.add_task("b", vec![sw, hw]);
+        let inst = ProblemInstance::new(
+            "mr",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(5, 0, 0), 1)),
+            g,
+            pool,
+        )
+        .unwrap();
+        let mut ps = PartialSchedule::new(&inst);
+        let opt = ps
+            .enumerate_options(TaskId(0), true)
+            .into_iter()
+            .find(|o| o.core.is_none())
+            .unwrap();
+        ps.apply(TaskId(0), &opt);
+        let opts = ps.enumerate_options(TaskId(1), true);
+        let reuse = opts.iter().find(|o| o.region == Some(0)).unwrap();
+        assert!(reuse.reconf.is_none(), "same module: no reconfiguration");
+        assert_eq!(reuse.start, 10);
+        // Without module reuse the same placement pays a reconfiguration.
+        let opts_nr = ps.enumerate_options(TaskId(1), false);
+        let reuse_nr = opts_nr.iter().find(|o| o.region == Some(0)).unwrap();
+        assert!(reuse_nr.reconf.is_some());
+    }
+
+    #[test]
+    fn icap_first_fit_respects_gaps() {
+        let inst = instance();
+        let mut ps = PartialSchedule::new(&inst);
+        ps.icap_busy = vec![vec![(10, 20), (25, 30)]];
+        assert_eq!(ps.icap_first_fit(0, 5), (0, 0));
+        assert_eq!(ps.icap_first_fit(0, 12), (0, 30));
+        assert_eq!(ps.icap_first_fit(12, 5), (0, 20));
+        assert_eq!(ps.icap_first_fit(12, 6), (0, 30));
+        assert_eq!(ps.icap_first_fit(40, 100), (0, 40));
+    }
+
+    #[test]
+    fn second_controller_offers_earlier_slots() {
+        let inst = instance();
+        let mut ps = PartialSchedule::new(&inst);
+        ps.icap_busy = vec![vec![(0, 50)], vec![(0, 10)]];
+        assert_eq!(ps.icap_first_fit(0, 5), (1, 10));
+        // Controller 0 wins once it is the earlier one.
+        ps.icap_busy = vec![vec![], vec![(0, 10)]];
+        assert_eq!(ps.icap_first_fit(0, 5), (0, 0));
+    }
+
+    #[test]
+    fn into_schedule_roundtrip() {
+        let inst = instance();
+        let mut ps = PartialSchedule::new(&inst);
+        for t in inst.graph.task_ids() {
+            let opts = ps.enumerate_options(t, true);
+            let best = opts.iter().min_by_key(|o| o.end).copied().unwrap();
+            ps.apply(t, &best);
+        }
+        let sched = ps.into_schedule();
+        assert_eq!(sched.assignments.len(), 2);
+        prfpga_sim::validate_schedule(&inst, &sched).expect("valid");
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion end-to-end comparison: PA vs IS-1 vs HEFT on a 30-task
+//! instance (the runtime-vs-quality trade-off behind Table I).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
+use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+use prfpga_model::Architecture;
+use prfpga_sched::{PaScheduler, SchedulerConfig};
+
+fn end_to_end(c: &mut Criterion) {
+    let inst = TaskGraphGenerator::new(0xE2E).generate(
+        "e2e30",
+        &GraphConfig::standard(30),
+        Architecture::zedboard(),
+    );
+    let pa = PaScheduler::new(SchedulerConfig::default());
+    c.bench_function("pa_30_tasks", |b| {
+        b.iter(|| pa.schedule(std::hint::black_box(&inst)).unwrap())
+    });
+    let is1 = IsKScheduler::new(IsKConfig::is1());
+    c.bench_function("is1_30_tasks", |b| {
+        b.iter(|| is1.schedule(std::hint::black_box(&inst)).unwrap())
+    });
+    let heft = HeftScheduler::new();
+    c.bench_function("heft_30_tasks", |b| {
+        b.iter(|| heft.schedule(std::hint::black_box(&inst)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = end_to_end
+}
+criterion_main!(benches);

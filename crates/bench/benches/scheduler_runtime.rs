@@ -1,0 +1,30 @@
+//! Criterion microbenchmark behind Table I's PA column: PA runtime as a
+//! function of the task-graph size (the paper reports near-linear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+use prfpga_model::Architecture;
+use prfpga_sched::{PaScheduler, SchedulerConfig};
+
+fn pa_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pa_runtime_vs_tasks");
+    for n in [10usize, 20, 40, 60, 80, 100] {
+        let inst = TaskGraphGenerator::new(0xBEEF).generate(
+            &format!("bench{n}"),
+            &GraphConfig::standard(n),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| pa.schedule(std::hint::black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pa_scaling
+}
+criterion_main!(benches);

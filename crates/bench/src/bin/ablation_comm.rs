@@ -1,0 +1,50 @@
+//! Ablation: the communication-cost extension (§VIII future work #2).
+//!
+//! The base model folds data movement into execution times; this study
+//! turns explicit per-edge costs on (charged when producer and consumer
+//! are not co-located) and measures how each scheduler degrades.
+
+use prfpga_baseline::IsKConfig;
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::{run_isk, run_pa};
+use prfpga_bench::Scale;
+use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+use prfpga_sched::SchedulerConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running communication-cost ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let ranges = [("none (paper)", (0u64, 0u64)), ("light", (50, 500)), ("heavy", (500, 2000))];
+    let mut rows = Vec::new();
+    for &tasks in &cfg.suite.groups {
+        let mut row = vec![tasks.to_string()];
+        for &(_, range) in &ranges {
+            let mut pa_mks = Vec::new();
+            let mut is1_mks = Vec::new();
+            for i in 0..cfg.suite.graphs_per_group {
+                let gcfg = GraphConfig {
+                    comm_cost_range: range,
+                    ..GraphConfig::standard(tasks)
+                };
+                let inst = TaskGraphGenerator::new(cfg.suite.seed ^ (i as u64) << 8 ^ tasks as u64)
+                    .generate(
+                        &format!("comm{tasks}_{i}"),
+                        &gcfg,
+                        prfpga_model::Architecture::zedboard_pr(),
+                    );
+                pa_mks.push(run_pa(&inst, &SchedulerConfig::default()).makespan as f64);
+                is1_mks.push(run_isk(&inst, &IsKConfig::is1()).makespan as f64);
+            }
+            row.push(format!("{:.0} / {:.0}", mean(&pa_mks), mean(&is1_mks)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("# Tasks")
+        .chain(ranges.iter().map(|(n, _)| *n))
+        .collect();
+    println!(
+        "### Ablation — communication costs (mean makespan PA / IS-1, ticks)\n\n{}",
+        markdown_table(&headers, &rows)
+    );
+}

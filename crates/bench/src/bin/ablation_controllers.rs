@@ -1,0 +1,36 @@
+//! Ablation: multiple reconfiguration controllers (the generalization of
+//! the paper's ref. \[8\]; the paper itself fixes one controller).
+
+use prfpga_baseline::IsKConfig;
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::{run_isk, run_pa};
+use prfpga_bench::Scale;
+use prfpga_sched::SchedulerConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running controller-count ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let mut rows = Vec::new();
+    for group in &suite {
+        let tasks = group[0].graph.len();
+        let mut row = vec![tasks.to_string()];
+        for k in [1usize, 2, 4] {
+            let mut pa_mks = Vec::new();
+            let mut is1_mks = Vec::new();
+            for inst in group {
+                let mut inst = inst.clone();
+                inst.architecture.num_reconfig_controllers = k;
+                pa_mks.push(run_pa(&inst, &SchedulerConfig::default()).makespan as f64);
+                is1_mks.push(run_isk(&inst, &IsKConfig::is1()).makespan as f64);
+            }
+            row.push(format!("{:.0} / {:.0}", mean(&pa_mks), mean(&is1_mks)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "### Ablation — reconfiguration controllers (mean makespan PA / IS-1, ticks)\n\n{}",
+        markdown_table(&["# Tasks", "1 controller (paper)", "2 controllers", "4 controllers"], &rows)
+    );
+}

@@ -1,0 +1,46 @@
+//! Ablation: the two terms of the implementation cost metric (eq. 3).
+//!
+//! `TimeOnly` reproduces the failure mode of the paper's Figure 1 — always
+//! picking the fastest (largest) implementation; `ResourceOnly` ignores
+//! execution time. The full metric should dominate on average.
+
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::run_pa;
+use prfpga_bench::Scale;
+use prfpga_sched::{CostPolicy, SchedulerConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running cost-metric ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let policies = [
+        ("full (paper)", CostPolicy::Full),
+        ("resource only", CostPolicy::ResourceOnly),
+        ("time only", CostPolicy::TimeOnly),
+    ];
+    let mut rows = Vec::new();
+    for group in &suite {
+        let tasks = group[0].graph.len();
+        let mut row = vec![tasks.to_string()];
+        for (_, policy) in &policies {
+            let sched_cfg = SchedulerConfig {
+                cost_policy: *policy,
+                ..Default::default()
+            };
+            let mks: Vec<f64> = group
+                .iter()
+                .map(|inst| run_pa(inst, &sched_cfg).makespan as f64)
+                .collect();
+            row.push(format!("{:.0}", mean(&mks)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("# Tasks")
+        .chain(policies.iter().map(|(n, _)| *n))
+        .collect();
+    println!(
+        "### Ablation — cost metric terms (mean makespan, ticks)\n\n{}",
+        markdown_table(&headers, &rows)
+    );
+}

@@ -1,0 +1,39 @@
+//! Ablation: the paper's future-work extension — module reuse in PA.
+//!
+//! §VIII: "Future work will investigate the possibility to leverage module
+//! reuse in order to further improve the solutions by removing the
+//! reconfiguration overhead for tasks sharing the same hardware
+//! implementations." This binary measures exactly that.
+
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::run_pa;
+use prfpga_bench::Scale;
+use prfpga_sched::SchedulerConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running PA module-reuse ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let mut rows = Vec::new();
+    for group in &suite {
+        let tasks = group[0].graph.len();
+        let mut row = vec![tasks.to_string()];
+        for reuse in [false, true] {
+            let sched_cfg = SchedulerConfig {
+                module_reuse: reuse,
+                ..Default::default()
+            };
+            let mks: Vec<f64> = group
+                .iter()
+                .map(|inst| run_pa(inst, &sched_cfg).makespan as f64)
+                .collect();
+            row.push(format!("{:.0}", mean(&mks)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "### Ablation — PA module reuse, the paper's future-work extension (mean makespan, ticks)\n\n{}",
+        markdown_table(&["# Tasks", "reuse off (paper PA)", "reuse on (extension)"], &rows)
+    );
+}

@@ -1,0 +1,35 @@
+//! Ablation: module reuse in the IS-k baseline (the paper's future-work
+//! item for PA; IS-k already exploits it, §VII-A).
+
+use prfpga_baseline::IsKConfig;
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::run_isk;
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running module-reuse ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let mut rows = Vec::new();
+    for group in &suite {
+        let tasks = group[0].graph.len();
+        let mut row = vec![tasks.to_string()];
+        for reuse in [true, false] {
+            let isk_cfg = IsKConfig {
+                module_reuse: reuse,
+                ..IsKConfig::is1()
+            };
+            let mks: Vec<f64> = group
+                .iter()
+                .map(|inst| run_isk(inst, &isk_cfg).makespan as f64)
+                .collect();
+            row.push(format!("{:.0}", mean(&mks)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "### Ablation — IS-1 module reuse (mean makespan, ticks)\n\n{}",
+        markdown_table(&["# Tasks", "reuse on", "reuse off"], &rows)
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation: software task balancing (§V-D) on vs off.
+
+use prfpga_bench::report::{markdown_table, mean};
+use prfpga_bench::runners::run_pa;
+use prfpga_bench::Scale;
+use prfpga_sched::SchedulerConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running software-balancing ablation at {scale:?} scale");
+    let cfg = scale.config();
+    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let mut rows = Vec::new();
+    for group in &suite {
+        let tasks = group[0].graph.len();
+        let mut row = vec![tasks.to_string()];
+        for balancing in [true, false] {
+            let sched_cfg = SchedulerConfig {
+                sw_balancing: balancing,
+                ..Default::default()
+            };
+            let mks: Vec<f64> = group
+                .iter()
+                .map(|inst| run_pa(inst, &sched_cfg).makespan as f64)
+                .collect();
+            row.push(format!("{:.0}", mean(&mks)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "### Ablation — software task balancing (mean makespan, ticks)\n\n{}",
+        markdown_table(&["# Tasks", "balancing on (paper)", "balancing off"], &rows)
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 2: average schedule makespan per group for PA,
+//! PA-R, IS-1 and IS-5.
+
+use prfpga_bench::experiments::{fig2_section, run_suite, Algo};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Figure 2 at {scale:?} scale");
+    let results = run_suite(
+        &scale.config(),
+        &[Algo::Pa, Algo::ParTimed, Algo::Is1, Algo::Is5],
+    );
+    println!("{}", fig2_section(&results));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 3: average improvement of PA over IS-1
+//! (paper: 14.8% on average, peaking for 20-60 task graphs).
+
+use prfpga_bench::experiments::{improvement_section, improvement_summaries, run_suite, Algo};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Figure 3 at {scale:?} scale");
+    let results = run_suite(&scale.config(), &[Algo::Pa, Algo::Is1]);
+    let summaries = improvement_summaries(&results, Algo::Pa, Algo::Is1);
+    println!(
+        "{}",
+        improvement_section("Figure 3 — average improvement of PA over IS-1 [%]", &summaries)
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: average improvement of PA over IS-5
+//! (paper: smaller than the IS-1 gap — IS-5's joint window narrows it).
+
+use prfpga_bench::experiments::{improvement_section, improvement_summaries, run_suite, Algo};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Figure 4 at {scale:?} scale");
+    let results = run_suite(&scale.config(), &[Algo::Pa, Algo::Is5]);
+    let summaries = improvement_summaries(&results, Algo::Pa, Algo::Is5);
+    println!(
+        "{}",
+        improvement_section("Figure 4 — average improvement of PA over IS-5 [%]", &summaries)
+    );
+}

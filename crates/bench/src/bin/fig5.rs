@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: average improvement of time-matched PA-R over
+//! IS-5 (paper: IS-5 wins at 10 tasks; PA-R averages 22.3% beyond 20).
+
+use prfpga_bench::experiments::{improvement_section, improvement_summaries, run_suite, Algo};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Figure 5 at {scale:?} scale (PA-R budget = measured IS-5 time)");
+    let results = run_suite(&scale.config(), &[Algo::ParTimed, Algo::Is5]);
+    let summaries = improvement_summaries(&results, Algo::ParTimed, Algo::Is5);
+    println!(
+        "{}",
+        improvement_section(
+            "Figure 5 — average improvement of PA-R over IS-5, time-matched [%]",
+            &summaries
+        )
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: PA-R solution improvement over time on one
+//! representative task graph per size in {20, 40, 60, 80, 100}.
+
+use prfpga_bench::experiments::{fig6_section, fig6_traces};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = scale.config();
+    eprintln!(
+        "running Figure 6 at {scale:?} scale ({}s budget per instance)",
+        cfg.fig6_budget.as_secs_f64()
+    );
+    let traces = fig6_traces(&cfg);
+    println!("{}", fig6_section(&traces));
+}

@@ -1,0 +1,67 @@
+//! IS-k runtime scaling: the claim behind Table I's right-hand columns.
+//!
+//! The paper's IS-k pays an exponential (MILP) cost per window that grows
+//! with k and with the task count. Our branch-and-bound substitute runs
+//! under a node budget by default; this study lifts the budget on small
+//! instances to expose the same explosion, and reports nodes explored —
+//! a hardware-independent cost measure.
+
+use prfpga_baseline::{IsKConfig, IsKScheduler};
+use prfpga_bench::report::markdown_table;
+use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+use prfpga_model::Architecture;
+
+fn main() {
+    println!("### IS-k cost scaling (branch-and-bound nodes, unbounded budget)\n");
+
+    // Scaling in k on one 12-task instance.
+    let inst = TaskGraphGenerator::new(0x15C).generate(
+        "isk_scaling",
+        &GraphConfig::standard(12),
+        Architecture::zedboard_pr(),
+    );
+    let mut rows = Vec::new();
+    for k in 1..=4 {
+        let isk = IsKScheduler::new(IsKConfig {
+            k,
+            node_budget: 0,
+            ..IsKConfig::is5()
+        });
+        let r = isk.schedule_detailed(&inst).expect("schedulable");
+        rows.push(vec![
+            format!("IS-{k}"),
+            r.nodes_explored.to_string(),
+            format!("{:.3}", r.elapsed.as_secs_f64()),
+            r.schedule.makespan().to_string(),
+        ]);
+    }
+    println!(
+        "12-task instance, window size sweep:\n\n{}",
+        markdown_table(&["algorithm", "nodes", "seconds", "makespan"], &rows)
+    );
+
+    // Scaling in n for k = 3.
+    let mut rows = Vec::new();
+    for n in [8usize, 12, 16, 20] {
+        let inst = TaskGraphGenerator::new(0x15C).generate(
+            &format!("isk_n{n}"),
+            &GraphConfig::standard(n),
+            Architecture::zedboard_pr(),
+        );
+        let isk = IsKScheduler::new(IsKConfig {
+            k: 3,
+            node_budget: 0,
+            ..IsKConfig::is5()
+        });
+        let r = isk.schedule_detailed(&inst).expect("schedulable");
+        rows.push(vec![
+            n.to_string(),
+            r.nodes_explored.to_string(),
+            format!("{:.3}", r.elapsed.as_secs_f64()),
+        ]);
+    }
+    println!(
+        "IS-3, task-count sweep:\n\n{}",
+        markdown_table(&["# tasks", "nodes", "seconds"], &rows)
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table I: algorithm execution times vs task-graph size.
+
+use prfpga_bench::experiments::{run_suite, table1_section, Algo};
+use prfpga_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Table I at {scale:?} scale (set PRFPGA_SCALE=full for the paper suite)");
+    let results = run_suite(
+        &scale.config(),
+        &[Algo::Pa, Algo::Is1, Algo::Is5, Algo::ParTimed],
+    );
+    println!("{}", table1_section(&results));
+}

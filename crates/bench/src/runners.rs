@@ -1,0 +1,174 @@
+//! Scheduler runners: execute one scheduler on one instance, revalidate
+//! the schedule, and collect timings.
+
+use std::time::{Duration, Instant};
+
+use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
+use prfpga_model::{ProblemInstance, Time};
+use prfpga_sched::{PaRScheduler, PaScheduler, SchedulerConfig};
+use prfpga_sim::validate_schedule;
+
+/// Outcome of one scheduler on one instance. Every schedule behind one of
+/// these has passed the independent validator.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Instance label.
+    pub instance: String,
+    /// Schedule makespan (ticks).
+    pub makespan: Time,
+    /// Total wall-clock of the scheduler run.
+    pub elapsed: Duration,
+    /// Scheduling-only time where the algorithm reports the split
+    /// (PA: phases A–G; others: equal to `elapsed`).
+    pub scheduling_time: Duration,
+    /// Floorplanning-only time where reported.
+    pub floorplanning_time: Duration,
+}
+
+fn check(inst: &ProblemInstance, schedule: &prfpga_model::Schedule) {
+    if let Err(e) = validate_schedule(inst, schedule) {
+        panic!(
+            "scheduler produced an invalid schedule for {}: {e}",
+            inst.name
+        );
+    }
+}
+
+/// Runs the deterministic PA.
+pub fn run_pa(inst: &ProblemInstance, config: &SchedulerConfig) -> InstanceResult {
+    let t0 = Instant::now();
+    let r = PaScheduler::new(config.clone())
+        .schedule_detailed(inst)
+        .expect("validated instance");
+    let elapsed = t0.elapsed();
+    check(inst, &r.schedule);
+    InstanceResult {
+        instance: inst.name.clone(),
+        makespan: r.schedule.makespan(),
+        elapsed,
+        scheduling_time: r.scheduling_time,
+        floorplanning_time: r.floorplanning_time,
+    }
+}
+
+/// Runs PA-R under a wall-clock budget (the paper's protocol: the budget
+/// equals the IS-5 time on the same instance).
+pub fn run_par_timed(
+    inst: &ProblemInstance,
+    config: &SchedulerConfig,
+    budget: Duration,
+) -> InstanceResult {
+    let cfg = SchedulerConfig {
+        time_budget: budget,
+        max_iterations: 0,
+        ..config.clone()
+    };
+    let t0 = Instant::now();
+    let r = PaRScheduler::new(cfg)
+        .schedule_detailed(inst)
+        .expect("validated instance");
+    let elapsed = t0.elapsed();
+    check(inst, &r.schedule);
+    InstanceResult {
+        instance: inst.name.clone(),
+        makespan: r.schedule.makespan(),
+        elapsed,
+        scheduling_time: elapsed,
+        floorplanning_time: Duration::ZERO,
+    }
+}
+
+/// Runs PA-R for a fixed iteration count (reproducible variant used in
+/// tests and ablations).
+pub fn run_par_iters(
+    inst: &ProblemInstance,
+    config: &SchedulerConfig,
+    iterations: usize,
+) -> InstanceResult {
+    let cfg = SchedulerConfig {
+        time_budget: Duration::from_secs(3600),
+        max_iterations: iterations,
+        ..config.clone()
+    };
+    let t0 = Instant::now();
+    let r = PaRScheduler::new(cfg)
+        .schedule_detailed(inst)
+        .expect("validated instance");
+    let elapsed = t0.elapsed();
+    check(inst, &r.schedule);
+    InstanceResult {
+        instance: inst.name.clone(),
+        makespan: r.schedule.makespan(),
+        elapsed,
+        scheduling_time: elapsed,
+        floorplanning_time: Duration::ZERO,
+    }
+}
+
+/// Runs IS-k.
+pub fn run_isk(inst: &ProblemInstance, config: &IsKConfig) -> InstanceResult {
+    let r = IsKScheduler::new(config.clone())
+        .schedule_detailed(inst)
+        .expect("validated instance");
+    check(inst, &r.schedule);
+    InstanceResult {
+        instance: inst.name.clone(),
+        makespan: r.schedule.makespan(),
+        elapsed: r.elapsed,
+        scheduling_time: r.elapsed,
+        floorplanning_time: Duration::ZERO,
+    }
+}
+
+/// Runs the HEFT-style baseline.
+pub fn run_heft(inst: &ProblemInstance) -> InstanceResult {
+    let t0 = Instant::now();
+    let s = HeftScheduler::new().schedule(inst).expect("validated instance");
+    let elapsed = t0.elapsed();
+    check(inst, &s);
+    InstanceResult {
+        instance: inst.name.clone(),
+        makespan: s.makespan(),
+        elapsed,
+        scheduling_time: elapsed,
+        floorplanning_time: Duration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+    use prfpga_model::Architecture;
+
+    fn inst() -> ProblemInstance {
+        TaskGraphGenerator::new(99).generate(
+            "runners",
+            &GraphConfig::standard(15),
+            Architecture::zedboard(),
+        )
+    }
+
+    #[test]
+    fn all_runners_produce_results() {
+        let i = inst();
+        let pa = run_pa(&i, &SchedulerConfig::default());
+        let par = run_par_iters(&i, &SchedulerConfig::default(), 3);
+        let is1 = run_isk(&i, &IsKConfig::is1());
+        let heft = run_heft(&i);
+        for r in [&pa, &par, &is1, &heft] {
+            assert!(r.makespan > 0);
+            assert_eq!(r.instance, "runners");
+        }
+        // PA-R with a few iterations is never worse than... nothing general
+        // to assert across algorithms beyond validity; validity was checked
+        // inside each runner.
+    }
+
+    #[test]
+    fn par_timed_respects_minimum_one_iteration() {
+        let i = inst();
+        let r = run_par_timed(&i, &SchedulerConfig::default(), Duration::ZERO);
+        assert!(r.makespan > 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Experiment scale selection.
+//!
+//! The paper's protocol ran Gurobi-backed IS-k for minutes per instance on
+//! a 2013 i7; our reproduction keeps the *protocol* and exposes two scales
+//! so both CI (`smoke`) and a patient full run (`full`) are practical. The
+//! qualitative shapes the paper reports hold at both scales.
+
+use std::time::Duration;
+
+use prfpga_baseline::IsKConfig;
+use prfpga_gen::SuiteConfig;
+
+/// Which scale the harness runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced suite, trimmed IS-5 node budget. Minutes, not hours.
+    Smoke,
+    /// The paper's full 10 groups x 10 graphs.
+    Full,
+}
+
+impl Scale {
+    /// Reads `PRFPGA_SCALE` (`smoke` | `full`), defaulting to smoke.
+    pub fn from_env() -> Scale {
+        match std::env::var("PRFPGA_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Materializes the knob settings for this scale.
+    pub fn config(self) -> ScaleConfig {
+        match self {
+            Scale::Smoke => ScaleConfig {
+                suite: SuiteConfig {
+                    groups: (1..=10).map(|g| g * 10).collect(),
+                    graphs_per_group: 3,
+                    seed: 0x5EED_2016,
+                },
+                is5: IsKConfig {
+                    node_budget: 20_000,
+                    ..IsKConfig::is5()
+                },
+                fig6_budget: Duration::from_secs(3),
+                fig6_sizes: vec![20, 40, 60, 80, 100],
+                par_min_budget: Duration::from_millis(50),
+            },
+            Scale::Full => ScaleConfig {
+                suite: SuiteConfig::default(),
+                is5: IsKConfig {
+                    node_budget: 300_000,
+                    ..IsKConfig::is5()
+                },
+                fig6_budget: Duration::from_secs(30),
+                fig6_sizes: vec![20, 40, 60, 80, 100],
+                par_min_budget: Duration::from_millis(200),
+            },
+        }
+    }
+}
+
+/// Materialized knobs for one scale.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Benchmark suite shape.
+    pub suite: SuiteConfig,
+    /// IS-5 configuration (node budget is the lever).
+    pub is5: IsKConfig,
+    /// PA-R budget for the Fig. 6 convergence study.
+    pub fig6_budget: Duration,
+    /// Task counts for Fig. 6.
+    pub fig6_sizes: Vec<usize>,
+    /// Floor for the time-matched PA-R budget in Fig. 5 (an IS-5 run can
+    /// finish in microseconds on tiny graphs; PA-R still deserves a few
+    /// iterations, as the paper always grants it at least one).
+    pub par_min_budget: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_smaller_than_full() {
+        let s = Scale::Smoke.config();
+        let f = Scale::Full.config();
+        assert!(s.suite.graphs_per_group < f.suite.graphs_per_group);
+        assert!(s.is5.node_budget < f.is5.node_budget);
+        assert_eq!(s.suite.groups, f.suite.groups, "same group sizes, fewer graphs");
+    }
+
+    #[test]
+    fn env_default_is_smoke() {
+        // The variable is unlikely to be set in the test environment; if it
+        // is, the assertion below still documents the mapping.
+        if std::env::var("PRFPGA_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Smoke);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! `prfpga` — command-line interface for the scheduling toolkit.
+//!
+//! ```text
+//! prfpga generate --tasks 30 --seed 7 --out app.json [--topology layered]
+//! prfpga schedule --input app.json [--algo pa|par|is1|is5|heft] [--gantt]
+//!                 [--out schedule.json] [--budget-ms 500]
+//! prfpga validate --input app.json --schedule schedule.json
+//! prfpga devices
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
+use prfpga_gen::{GraphConfig, TaskGraphGenerator, Topology};
+use prfpga_model::{Architecture, Device, ProblemInstance, Schedule};
+use prfpga_sched::{PaRScheduler, PaScheduler, SchedulerConfig};
+use prfpga_sim::{render_gantt, schedule_stats, validate_schedule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  prfpga generate --tasks <n> [--seed <s>] [--topology layered|chain|forkjoin|seriesparallel]
+                  [--cores <p>] [--device xc7z010|xc7z020|xc7z045]
+                  [--recfreq <bits-per-tick>] [--comm <max-ticks>] --out <file.json>
+  prfpga schedule --input <file.json> [--algo pa|par|is1|is5|heft]
+                  [--budget-ms <ms>] [--gantt] [--out <schedule.json>]
+  prfpga validate --input <file.json> --schedule <schedule.json>
+  prfpga devices";
+
+/// Pulls the value following `--flag`.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(args),
+        Some("schedule") => schedule(args),
+        Some("validate") => validate(args),
+        Some("devices") => {
+            devices();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let tasks: usize = flag(args, "--tasks")
+        .ok_or("--tasks is required")?
+        .parse()
+        .map_err(|e| format!("--tasks: {e}"))?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(0x5EED);
+    let out = flag(args, "--out").ok_or("--out is required")?;
+    let topology = match flag(args, "--topology").as_deref() {
+        None | Some("layered") => Topology::Layered,
+        Some("chain") => Topology::Chain,
+        Some("forkjoin") => Topology::ForkJoin,
+        Some("seriesparallel") => Topology::SeriesParallel,
+        Some(t) => return Err(format!("unknown topology `{t}`")),
+    };
+    let mut device = match flag(args, "--device").as_deref() {
+        None | Some("xc7z020") => Device::xc7z020(),
+        Some("xc7z010") => Device::xc7z010(),
+        Some("xc7z045") => Device::xc7z045(),
+        Some(d) => return Err(format!("unknown device `{d}`")),
+    };
+    // Effective configuration throughput (bits per tick); defaults to the
+    // 50 MB/s sustained figure of real PR runtimes, like the benchmark
+    // suite. Pass --recfreq 3200 for raw datasheet ICAP bandwidth.
+    device.rec_freq = flag(args, "--recfreq")
+        .map(|s| s.parse().map_err(|e| format!("--recfreq: {e}")))
+        .transpose()?
+        .unwrap_or(400);
+    let cores: usize = flag(args, "--cores")
+        .map(|s| s.parse().map_err(|e| format!("--cores: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+
+    // Optional communication costs: --comm <max> samples each edge cost
+    // uniformly from [max/10, max] ticks (0 = the paper's base model).
+    let comm_max: u64 = flag(args, "--comm")
+        .map(|s| s.parse().map_err(|e| format!("--comm: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let config = GraphConfig {
+        topology,
+        comm_cost_range: if comm_max == 0 { (0, 0) } else { (comm_max / 10, comm_max) },
+        ..GraphConfig::standard(tasks)
+    };
+    let inst = TaskGraphGenerator::new(seed).generate(
+        &format!("cli_t{tasks}_s{seed}"),
+        &config,
+        Architecture::new(cores, device),
+    );
+    inst.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote instance `{}`: {} tasks, {} edges, {} implementations -> {out}",
+        inst.name,
+        inst.graph.len(),
+        inst.graph.edges.len(),
+        inst.impls.len()
+    );
+    Ok(())
+}
+
+fn schedule(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--input").ok_or("--input is required")?;
+    let inst = ProblemInstance::load(&input).map_err(|e| e.to_string())?;
+    let algo = flag(args, "--algo").unwrap_or_else(|| "pa".into());
+    let budget_ms: u64 = flag(args, "--budget-ms")
+        .map(|s| s.parse().map_err(|e| format!("--budget-ms: {e}")))
+        .transpose()?
+        .unwrap_or(1000);
+
+    let t0 = std::time::Instant::now();
+    let sched: Schedule = match algo.as_str() {
+        "pa" => PaScheduler::new(SchedulerConfig::default())
+            .schedule(&inst)
+            .map_err(|e| e.to_string())?,
+        "par" => PaRScheduler::new(SchedulerConfig {
+            time_budget: Duration::from_millis(budget_ms),
+            ..Default::default()
+        })
+        .schedule(&inst)
+        .map_err(|e| e.to_string())?,
+        "is1" => IsKScheduler::new(IsKConfig::is1())
+            .schedule(&inst)
+            .map_err(|e| e.to_string())?,
+        "is5" => IsKScheduler::new(IsKConfig::is5())
+            .schedule(&inst)
+            .map_err(|e| e.to_string())?,
+        "heft" => HeftScheduler::new()
+            .schedule(&inst)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let elapsed = t0.elapsed();
+
+    validate_schedule(&inst, &sched).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    let stats = schedule_stats(&inst, &sched);
+    println!(
+        "{algo}: makespan {} ticks in {:.3}s | {} regions, {} hw / {} sw tasks, {} reconfigurations ({} ticks on the controller)",
+        stats.makespan,
+        elapsed.as_secs_f64(),
+        stats.num_regions,
+        stats.hw_tasks,
+        stats.sw_tasks,
+        stats.num_reconfigurations,
+        stats.reconf_busy,
+    );
+    if has(args, "--gantt") {
+        println!();
+        println!("{}", render_gantt(&inst, &sched, 100));
+    }
+    if let Some(out) = flag(args, "--out") {
+        let json = serde_json::to_string_pretty(&sched).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote schedule -> {out}");
+    }
+    Ok(())
+}
+
+fn validate(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--input").ok_or("--input is required")?;
+    let schedule_path = flag(args, "--schedule").ok_or("--schedule is required")?;
+    let inst = ProblemInstance::load(&input).map_err(|e| e.to_string())?;
+    let json = std::fs::read_to_string(&schedule_path).map_err(|e| e.to_string())?;
+    let sched: Schedule = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    match validate_schedule(&inst, &sched) {
+        Ok(()) => {
+            println!("schedule is VALID (makespan {} ticks)", sched.makespan());
+            Ok(())
+        }
+        Err(e) => Err(format!("schedule is INVALID: {e}")),
+    }
+}
+
+fn devices() {
+    for d in [Device::xc7z010(), Device::xc7z020(), Device::xc7z045()] {
+        let geom = d.geometry.as_ref().expect("catalog devices have geometry");
+        println!(
+            "{:9} capacity {} | {} columns x {} rows | ~{:.1} ms full-fabric reconfiguration",
+            d.name,
+            d.max_res,
+            geom.columns.len(),
+            geom.rows,
+            d.reconf_time(&d.max_res) as f64 / 1000.0,
+        );
+    }
+}

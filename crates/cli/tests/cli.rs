@@ -1,0 +1,111 @@
+//! End-to-end tests of the `prfpga` binary: generate → schedule →
+//! validate round-trips through the actual CLI surface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_prfpga"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("prfpga_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn devices_lists_catalog() {
+    let out = bin().arg("devices").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for part in ["xc7z010", "xc7z020", "xc7z045"] {
+        assert!(stdout.contains(part), "missing {part} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn generate_schedule_validate_roundtrip() {
+    let inst = tmp("app.json");
+    let sched = tmp("sched.json");
+
+    let out = bin()
+        .args(["generate", "--tasks", "15", "--seed", "3", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["schedule", "--algo", "pa", "--gantt", "--input"])
+        .arg(&inst)
+        .arg("--out")
+        .arg(&sched)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("icap"));
+
+    let out = bin()
+        .args(["validate", "--input"])
+        .arg(&inst)
+        .arg("--schedule")
+        .arg(&sched)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("VALID"));
+
+    let _ = std::fs::remove_file(&inst);
+    let _ = std::fs::remove_file(&sched);
+}
+
+#[test]
+fn every_algorithm_runs() {
+    let inst = tmp("algos.json");
+    let out = bin()
+        .args(["generate", "--tasks", "10", "--seed", "7", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    for algo in ["pa", "is1", "heft", "par"] {
+        let out = bin()
+            .args(["schedule", "--algo", algo, "--budget-ms", "50", "--input"])
+            .arg(&inst)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_file(&inst);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+}
+
+#[test]
+fn chain_topology_generation() {
+    let inst = tmp("chain.json");
+    let out = bin()
+        .args([
+            "generate", "--tasks", "8", "--topology", "chain", "--cores", "1", "--out",
+        ])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&inst).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["graph"]["edges"].as_array().unwrap().len(), 7);
+    let _ = std::fs::remove_file(&inst);
+}

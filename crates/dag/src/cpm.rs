@@ -1,0 +1,226 @@
+//! Critical Path Method over a [`Dag`].
+//!
+//! Implements §V-B: given the DAG and the execution time selected for each
+//! node, compute for every node the window `w_t = [T_MIN_t, T_MAX_t]` where
+//! `T_MIN` is the earliest start and `T_MAX` the latest completion that does
+//! not delay the schedule, the overall makespan (length of the critical
+//! path), and the critical flag (zero slack).
+
+use prfpga_model::{Time, TimeWindow};
+
+use crate::graph::{Dag, NodeId};
+
+/// Result of a CPM pass.
+///
+/// ```
+/// use prfpga_dag::{CpmAnalysis, Dag};
+///
+/// // 0 -> 1 -> 2 with durations 5, 3, 2: makespan 10, all critical.
+/// let mut dag = Dag::with_nodes(3);
+/// dag.add_edge(0, 1).unwrap();
+/// dag.add_edge(1, 2).unwrap();
+/// let cpm = CpmAnalysis::run(&dag, &[5, 3, 2]);
+/// assert_eq!(cpm.makespan, 10);
+/// assert_eq!(cpm.windows[1].min, 5);
+/// assert!(cpm.critical.iter().all(|&c| c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpmAnalysis {
+    /// Per-node execution window `[T_MIN, T_MAX]`.
+    pub windows: Vec<TimeWindow>,
+    /// Length of the critical path (the ideal unlimited-resource makespan).
+    pub makespan: Time,
+    /// `critical[v]` iff node `v` has zero slack.
+    pub critical: Vec<bool>,
+}
+
+impl CpmAnalysis {
+    /// Runs CPM assuming every node may start at tick 0.
+    pub fn run(dag: &Dag, durations: &[Time]) -> CpmAnalysis {
+        Self::run_with_release(dag, durations, None)
+    }
+
+    /// Runs CPM with optional per-node release times (lower bounds on the
+    /// start tick). Schedulers use release times to model decisions already
+    /// fixed: a task whose start has been committed gets its start as
+    /// release, and the windows of everything downstream follow.
+    pub fn run_with_release(
+        dag: &Dag,
+        durations: &[Time],
+        release: Option<&[Time]>,
+    ) -> CpmAnalysis {
+        let n = dag.len();
+        assert_eq!(durations.len(), n, "one duration per node required");
+        if let Some(r) = release {
+            assert_eq!(r.len(), n, "one release time per node required");
+        }
+        let order = dag.topo_order();
+
+        // Forward pass: earliest start.
+        let mut t_min = vec![0 as Time; n];
+        for &v in &order {
+            let mut es = release.map_or(0, |r| r[v as usize]);
+            for &p in dag.preds(v) {
+                es = es.max(t_min[p as usize] + durations[p as usize]);
+            }
+            t_min[v as usize] = es;
+        }
+        let makespan = (0..n)
+            .map(|v| t_min[v] + durations[v])
+            .max()
+            .unwrap_or(0);
+
+        // Backward pass: latest completion.
+        let mut t_max = vec![makespan; n];
+        for &v in order.iter().rev() {
+            let mut lc = makespan;
+            for &s in dag.succs(v) {
+                lc = lc.min(t_max[s as usize] - durations[s as usize]);
+            }
+            t_max[v as usize] = lc;
+        }
+
+        let mut windows = Vec::with_capacity(n);
+        let mut critical = Vec::with_capacity(n);
+        for v in 0..n {
+            windows.push(TimeWindow::new(t_min[v], t_max[v]));
+            critical.push(t_max[v] - t_min[v] == durations[v]);
+        }
+        CpmAnalysis {
+            windows,
+            makespan,
+            critical,
+        }
+    }
+
+    /// Extracts one critical path (source to sink through zero-slack nodes),
+    /// deterministically preferring smaller node ids.
+    pub fn critical_path(&self, dag: &Dag, durations: &[Time]) -> Vec<NodeId> {
+        let n = dag.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Start at the critical source with T_MIN == 0.
+        let mut cur = match (0..n as NodeId)
+            .filter(|&v| {
+                self.critical[v as usize]
+                    && self.windows[v as usize].min == 0
+                    && dag.preds(v).iter().all(|&p| !self.critical[p as usize]
+                        || self.windows[p as usize].min + durations[p as usize]
+                            != self.windows[v as usize].min)
+            })
+            .min()
+        {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let mut path = vec![cur];
+        loop {
+            let end = self.windows[cur as usize].min + durations[cur as usize];
+            let next = dag
+                .succs(cur)
+                .iter()
+                .copied()
+                .filter(|&s| self.critical[s as usize] && self.windows[s as usize].min == end)
+                .min();
+            match next {
+                Some(s) => {
+                    path.push(s);
+                    cur = s;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 -> {1, 2} -> 3, durations 2, 5, 3, 1.
+    fn diamond() -> (Dag, Vec<Time>) {
+        let mut d = Dag::with_nodes(4);
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        (d, vec![2, 5, 3, 1])
+    }
+
+    #[test]
+    fn diamond_windows() {
+        let (d, dur) = diamond();
+        let cpm = CpmAnalysis::run(&d, &dur);
+        assert_eq!(cpm.makespan, 8); // 2 + 5 + 1
+        assert_eq!(cpm.windows[0], TimeWindow::new(0, 2));
+        assert_eq!(cpm.windows[1], TimeWindow::new(2, 7));
+        assert_eq!(cpm.windows[2], TimeWindow::new(2, 7));
+        assert_eq!(cpm.windows[3], TimeWindow::new(7, 8));
+        assert_eq!(cpm.critical, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn diamond_critical_path() {
+        let (d, dur) = diamond();
+        let cpm = CpmAnalysis::run(&d, &dur);
+        assert_eq!(cpm.critical_path(&d, &dur), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn release_times_shift_windows() {
+        let (d, dur) = diamond();
+        let release = vec![0, 10, 0, 0];
+        let cpm = CpmAnalysis::run_with_release(&d, &dur, Some(&release));
+        assert_eq!(cpm.makespan, 16); // node 1 starts at 10, ends 15, node 3 ends 16
+        assert_eq!(cpm.windows[1].min, 10);
+        assert_eq!(cpm.windows[3].min, 15);
+        // Node 2's latest completion stretches with the new horizon.
+        assert_eq!(cpm.windows[2].max, 15);
+    }
+
+    #[test]
+    fn independent_nodes_all_critical_iff_longest() {
+        let mut d = Dag::with_nodes(3);
+        let _ = &mut d; // no edges
+        let dur = vec![5, 9, 9];
+        let cpm = CpmAnalysis::run(&d, &dur);
+        assert_eq!(cpm.makespan, 9);
+        assert_eq!(cpm.critical, vec![false, true, true]);
+        assert_eq!(cpm.windows[0], TimeWindow::new(0, 9));
+    }
+
+    #[test]
+    fn zero_duration_nodes() {
+        let mut d = Dag::with_nodes(2);
+        d.add_edge(0, 1).unwrap();
+        let dur = vec![0, 0];
+        let cpm = CpmAnalysis::run(&d, &dur);
+        assert_eq!(cpm.makespan, 0);
+        assert!(cpm.critical.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = Dag::with_nodes(0);
+        let cpm = CpmAnalysis::run(&d, &[]);
+        assert_eq!(cpm.makespan, 0);
+        assert!(cpm.windows.is_empty());
+    }
+
+    #[test]
+    fn chain_is_fully_critical() {
+        let mut d = Dag::with_nodes(4);
+        for i in 0..3 {
+            d.add_edge(i, i + 1).unwrap();
+        }
+        let dur = vec![1, 2, 3, 4];
+        let cpm = CpmAnalysis::run(&d, &dur);
+        assert_eq!(cpm.makespan, 10);
+        assert!(cpm.critical.iter().all(|&c| c));
+        assert_eq!(cpm.critical_path(&d, &dur), vec![0, 1, 2, 3]);
+        // Windows tile the horizon exactly.
+        assert_eq!(cpm.windows[2], TimeWindow::new(3, 6));
+    }
+}

@@ -1,0 +1,272 @@
+//! Compact mutable DAG with cycle-safe edge insertion.
+
+use serde::{Deserialize, Serialize};
+
+use prfpga_model::{TaskGraph, TaskId};
+
+/// Node index; for DAGs built from a [`TaskGraph`] it equals the task index.
+pub type NodeId = u32;
+
+/// Returned when an edge insertion would create a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError {
+    /// Source of the rejected edge.
+    pub from: NodeId,
+    /// Destination of the rejected edge.
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge {} -> {} would create a cycle", self.from, self.to)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Adjacency-list DAG supporting dynamic, cycle-checked edge insertion.
+///
+/// Duplicate edges are silently ignored: the schedulers freely re-insert
+/// sequencing arcs that may already exist as data dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// DAG with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Dag {
+            preds: vec![Vec::new(); n],
+            succs: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a DAG from a task graph description, deduplicating arcs.
+    ///
+    /// Returns `Err` if the description contains a cycle.
+    pub fn from_taskgraph(graph: &TaskGraph) -> Result<Self, CycleError> {
+        let mut dag = Dag::with_nodes(graph.len());
+        for &(TaskId(a), TaskId(b)) in &graph.edges {
+            dag.add_edge(a, b)?;
+        }
+        Ok(dag)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the DAG has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a fresh isolated node and returns its id. Used by schedulers
+    /// that model reconfigurations as extra nodes.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.preds.len() as NodeId;
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Direct predecessors of `v`.
+    #[inline]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v as usize]
+    }
+
+    /// Direct successors of `v`.
+    #[inline]
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        &self.succs[v as usize]
+    }
+
+    /// True when the arc `from -> to` is present.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.succs[from as usize].contains(&to)
+    }
+
+    /// Inserts `from -> to`, rejecting self-loops and cycles. Duplicate
+    /// arcs are ignored and reported as `Ok`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), CycleError> {
+        assert!((from as usize) < self.len() && (to as usize) < self.len(), "node out of range");
+        if from == to {
+            return Err(CycleError { from, to });
+        }
+        if self.has_edge(from, to) {
+            return Ok(());
+        }
+        // `from -> to` creates a cycle iff `from` is reachable from `to`.
+        if crate::reach::is_reachable(self, to, from) {
+            return Err(CycleError { from, to });
+        }
+        self.succs[from as usize].push(to);
+        self.preds[to as usize].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Kahn topological order; deterministic (smallest-id first among
+    /// ready nodes) so every scheduler run is reproducible.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.len();
+        let mut indeg: Vec<u32> = (0..n).map(|v| self.preds[v].len() as u32).collect();
+        // Binary heap would be O(E log V); for determinism a sorted ready
+        // list is enough and the graphs are small. Use a BinaryHeap on
+        // Reverse ids for O(log) pops.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<NodeId>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(v, _)| Reverse(v as NodeId))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(v)) = ready.pop() {
+            order.push(v);
+            for &s in &self.succs[v as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    ready.push(Reverse(s));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "DAG invariant violated: cycle present");
+        order
+    }
+
+    /// Source nodes (no predecessors).
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.len() as NodeId)
+            .filter(|&v| self.preds[v as usize].is_empty())
+            .collect()
+    }
+
+    /// Sink nodes (no successors).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.len() as NodeId)
+            .filter(|&v| self.succs[v as usize].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut d = Dag::with_nodes(4);
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        d
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.preds(3), &[1, 2]);
+        assert_eq!(d.succs(0), &[1, 2]);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn rejects_cycle_and_self_loop() {
+        let mut d = diamond();
+        assert_eq!(d.add_edge(3, 0), Err(CycleError { from: 3, to: 0 }));
+        assert_eq!(d.add_edge(1, 1), Err(CycleError { from: 1, to: 1 }));
+        // Rejection leaves the graph untouched.
+        assert_eq!(d.edge_count(), 4);
+        assert!(!d.has_edge(3, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut d = diamond();
+        d.add_edge(0, 1).unwrap();
+        assert_eq!(d.edge_count(), 4);
+    }
+
+    #[test]
+    fn transitive_edge_allowed() {
+        let mut d = diamond();
+        d.add_edge(0, 3).unwrap();
+        assert_eq!(d.edge_count(), 5);
+    }
+
+    #[test]
+    fn topo_order_is_valid_and_deterministic() {
+        let d = diamond();
+        let order = d.topo_order();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let mut pos = vec![0usize; d.len()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..d.len() as NodeId {
+            for &s in d.succs(v) {
+                assert!(pos[v as usize] < pos[s as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_taskgraph_dedups() {
+        use prfpga_model::ImplId;
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", vec![ImplId(0)]);
+        let b = g.add_task("b", vec![ImplId(0)]);
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        let d = Dag::from_taskgraph(&g).unwrap();
+        assert_eq!(d.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_taskgraph_detects_cycle() {
+        use prfpga_model::ImplId;
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", vec![ImplId(0)]);
+        let b = g.add_task("b", vec![ImplId(0)]);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(Dag::from_taskgraph(&g).is_err());
+    }
+
+    #[test]
+    fn add_node_extends() {
+        let mut d = diamond();
+        let v = d.add_node();
+        assert_eq!(v, 4);
+        d.add_edge(3, v).unwrap();
+        assert_eq!(d.sinks(), vec![4]);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::with_nodes(0);
+        assert!(d.is_empty());
+        assert!(d.topo_order().is_empty());
+        assert!(d.sources().is_empty());
+    }
+}

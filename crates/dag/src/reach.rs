@@ -1,0 +1,106 @@
+//! Reachability queries over a [`Dag`].
+
+use crate::graph::{Dag, NodeId};
+
+/// True when `to` is reachable from `from` by following arcs forward.
+///
+/// Iterative DFS; `O(V + E)` worst case, but sequencing-arc insertions in
+/// the schedulers overwhelmingly probe short chains, so the early exit
+/// dominates in practice.
+pub fn is_reachable(dag: &Dag, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; dag.len()];
+    let mut stack = vec![from];
+    visited[from as usize] = true;
+    while let Some(v) = stack.pop() {
+        for &s in dag.succs(v) {
+            if s == to {
+                return true;
+            }
+            if !visited[s as usize] {
+                visited[s as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// All nodes reachable from `from` (excluding `from` itself unless it lies
+/// on a cycle, which a [`Dag`] cannot contain).
+pub fn descendants(dag: &Dag, from: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; dag.len()];
+    let mut stack = vec![from];
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        for &s in dag.succs(v) {
+            if !visited[s as usize] {
+                visited[s as usize] = true;
+                out.push(s);
+                stack.push(s);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All nodes that can reach `to`.
+pub fn ancestors(dag: &Dag, to: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; dag.len()];
+    let mut stack = vec![to];
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        for &p in dag.preds(v) {
+            if !visited[p as usize] {
+                visited[p as usize] = true;
+                out.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain5() -> Dag {
+        let mut d = Dag::with_nodes(5);
+        for i in 0..4 {
+            d.add_edge(i, i + 1).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn reachability_on_chain() {
+        let d = chain5();
+        assert!(is_reachable(&d, 0, 4));
+        assert!(is_reachable(&d, 2, 2));
+        assert!(!is_reachable(&d, 4, 0));
+        assert!(!is_reachable(&d, 3, 1));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let d = chain5();
+        assert_eq!(descendants(&d, 2), vec![3, 4]);
+        assert_eq!(ancestors(&d, 2), vec![0, 1]);
+        assert_eq!(descendants(&d, 4), Vec::<NodeId>::new());
+        assert_eq!(ancestors(&d, 0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn disconnected_nodes() {
+        let mut d = Dag::with_nodes(3);
+        d.add_edge(0, 1).unwrap();
+        assert!(!is_reachable(&d, 0, 2));
+        assert!(!is_reachable(&d, 2, 0));
+        assert_eq!(descendants(&d, 2), Vec::<NodeId>::new());
+    }
+}

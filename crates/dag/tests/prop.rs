@@ -1,0 +1,107 @@
+//! Property-based tests for the DAG substrate.
+
+use proptest::prelude::*;
+
+use prfpga_dag::{CpmAnalysis, Dag};
+use prfpga_model::Time;
+
+/// Strategy: a random DAG on `n` nodes where edges only go from lower to
+/// higher index (guaranteeing acyclicity), plus random durations.
+fn random_dag() -> impl Strategy<Value = (Dag, Vec<Time>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+        let durs = proptest::collection::vec(0u64..1000, n);
+        (Just(n), edges, durs).prop_map(|(n, edges, durs)| {
+            let mut dag = Dag::with_nodes(n);
+            for (a, b) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    dag.add_edge(lo as u32, hi as u32).unwrap();
+                }
+            }
+            (dag, durs)
+        })
+    })
+}
+
+proptest! {
+    /// Topological order contains every node exactly once and respects arcs.
+    #[test]
+    fn topo_order_is_permutation_respecting_edges((dag, _durs) in random_dag()) {
+        let order = dag.topo_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let mut pos = vec![usize::MAX; dag.len()];
+        for (i, &v) in order.iter().enumerate() {
+            prop_assert_eq!(pos[v as usize], usize::MAX, "duplicate node in order");
+            pos[v as usize] = i;
+        }
+        for v in 0..dag.len() as u32 {
+            for &s in dag.succs(v) {
+                prop_assert!(pos[v as usize] < pos[s as usize]);
+            }
+        }
+    }
+
+    /// CPM window coherence: windows fit durations, sources start at their
+    /// release, every arc is respected, and the makespan is achieved by at
+    /// least one critical sink.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cpm_windows_are_coherent((dag, durs) in random_dag()) {
+        let cpm = CpmAnalysis::run(&dag, &durs);
+        for v in 0..dag.len() {
+            let w = cpm.windows[v];
+            prop_assert!(w.fits(durs[v]), "window must fit the duration");
+            prop_assert!(w.max <= cpm.makespan);
+            // Arc feasibility at earliest times.
+            for &s in dag.succs(v as u32) {
+                prop_assert!(w.min + durs[v] <= cpm.windows[s as usize].min);
+            }
+            // Critical <=> zero slack.
+            prop_assert_eq!(cpm.critical[v], w.span() == durs[v]);
+        }
+        let achieved = (0..dag.len())
+            .map(|v| cpm.windows[v].min + durs[v])
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(achieved, cpm.makespan);
+    }
+
+    /// The critical path is a real path whose durations sum to the makespan.
+    #[test]
+    fn critical_path_sums_to_makespan((dag, durs) in random_dag()) {
+        let cpm = CpmAnalysis::run(&dag, &durs);
+        let path = cpm.critical_path(&dag, &durs);
+        prop_assert!(!path.is_empty());
+        for pair in path.windows(2) {
+            prop_assert!(dag.has_edge(pair[0], pair[1]));
+        }
+        let sum: Time = path.iter().map(|&v| durs[v as usize]).sum();
+        prop_assert_eq!(sum, cpm.makespan);
+    }
+
+    /// Edge insertion never silently corrupts the DAG: after a rejected
+    /// insertion the graph still topo-sorts completely.
+    #[test]
+    fn rejected_edges_leave_dag_intact((mut dag, _durs) in random_dag(), a in 0u32..40, b in 0u32..40) {
+        let n = dag.len() as u32;
+        let (a, b) = (a % n, b % n);
+        let _ = dag.add_edge(a, b); // may fail if it would close a cycle
+        let order = dag.topo_order();
+        prop_assert_eq!(order.len(), dag.len());
+    }
+
+    /// Release times only ever push windows later, never earlier.
+    #[test]
+    fn release_is_monotone((dag, durs) in random_dag(), bump_idx in 0usize..40, bump in 1u64..500) {
+        let base = CpmAnalysis::run(&dag, &durs);
+        let mut release = vec![0u64; dag.len()];
+        let idx = bump_idx % dag.len();
+        release[idx] = base.windows[idx].min + bump;
+        let shifted = CpmAnalysis::run_with_release(&dag, &durs, Some(&release));
+        prop_assert!(shifted.makespan >= base.makespan);
+        for v in 0..dag.len() {
+            prop_assert!(shifted.windows[v].min >= base.windows[v].min);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Feasible-placement enumeration.
+//!
+//! For one region demand, enumerate the *minimal feasible rectangles*: for
+//! every row span `[row_start, row_end)` and every starting column, the
+//! shortest column run whose resources cover the demand. Any feasible
+//! placement contains one of these minimal rectangles, so searching over
+//! minimal rectangles only is complete for the feasibility question — the
+//! key idea behind the "feasible placements detection" of the paper's
+//! ref. \[3\].
+
+use prfpga_model::{FabricGeometry, ResourceVec, NUM_RESOURCE_KINDS};
+
+use crate::rect::Rect;
+
+/// Enumerates the minimal feasible rectangles for `demand` on `geometry`,
+/// sorted by ascending area then position (deterministic).
+///
+/// Uses a two-pointer sweep per row span: as `col_start` advances, the
+/// minimal `col_end` can only advance too, so each span costs `O(columns)`.
+// The two-pointer sweep mutates `window` under explicit indices; iterator
+// forms obscure the sliding-window invariant.
+#[allow(clippy::needless_range_loop)]
+pub fn minimal_rects(geometry: &FabricGeometry, demand: &ResourceVec) -> Vec<Rect> {
+    let cols = geometry.columns.len() as u32;
+    let rows = geometry.rows;
+    let mut out = Vec::new();
+    if cols == 0 || rows == 0 {
+        return out;
+    }
+    if demand.is_zero() {
+        // A zero-demand region still occupies one cell.
+        out.push(Rect::new(0, 1, 0, 1));
+        return out;
+    }
+
+    // Per-column per-row resource contribution (row count scales linearly).
+    let per_col: Vec<ResourceVec> = geometry
+        .columns
+        .iter()
+        .map(|c| {
+            let mut v = ResourceVec::ZERO;
+            v[c.kind()] = c.units_per_row();
+            v
+        })
+        .collect();
+
+    for height in 1..=rows {
+        for row_start in 0..=(rows - height) {
+            // Demand per *column* at this height is demand; a window of
+            // columns [a, b) provides sum(per_col[a..b]) * height.
+            let mut window = [0u64; NUM_RESOURCE_KINDS];
+            let mut b = 0u32;
+            for a in 0..cols {
+                // Grow b until the window covers the demand or runs out.
+                while b < cols && !covers(&window, demand, height) {
+                    for k in 0..NUM_RESOURCE_KINDS {
+                        window[k] += per_col[b as usize].0[k];
+                    }
+                    b += 1;
+                }
+                if covers(&window, demand, height) {
+                    out.push(Rect::new(a, b, row_start, row_start + height));
+                } else {
+                    break; // no further a can succeed at this height
+                }
+                // Slide: remove column a.
+                for k in 0..NUM_RESOURCE_KINDS {
+                    window[k] -= per_col[a as usize].0[k];
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|r| (r.area(), r.col_start, r.row_start, r.col_end, r.row_end));
+    out
+}
+
+#[inline]
+fn covers(window_per_row: &[u64; NUM_RESOURCE_KINDS], demand: &ResourceVec, height: u32) -> bool {
+    (0..NUM_RESOURCE_KINDS).all(|k| window_per_row[k] * height as u64 >= demand.0[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::FabricColumn;
+
+    fn geom() -> FabricGeometry {
+        // C C B C C D repeated twice, 2 rows.
+        FabricGeometry::from_pattern(
+            &[
+                FabricColumn::Clb,
+                FabricColumn::Clb,
+                FabricColumn::Bram,
+                FabricColumn::Clb,
+                FabricColumn::Clb,
+                FabricColumn::Dsp,
+            ],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn every_candidate_covers_demand() {
+        let g = geom();
+        let demand = ResourceVec::new(120, 10, 0);
+        let rects = minimal_rects(&g, &demand);
+        assert!(!rects.is_empty());
+        for r in &rects {
+            assert!(demand.fits_in(&r.resources(&g)), "rect {r:?} must cover demand");
+        }
+    }
+
+    #[test]
+    fn candidates_are_width_minimal() {
+        let g = geom();
+        let demand = ResourceVec::new(120, 10, 0);
+        for r in minimal_rects(&g, &demand) {
+            // Dropping the last column must break coverage.
+            if r.width() > 1 {
+                let narrower = Rect::new(r.col_start, r.col_end - 1, r.row_start, r.row_end);
+                assert!(
+                    !demand.fits_in(&narrower.resources(&g)),
+                    "rect {r:?} is not minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_demand_yields_nothing() {
+        let g = geom();
+        // More BRAM than the whole fabric offers (4 columns x 10 x 2 rows = 80).
+        let demand = ResourceVec::new(0, 1000, 0);
+        assert!(minimal_rects(&g, &demand).is_empty());
+    }
+
+    #[test]
+    fn zero_demand_gets_unit_cell() {
+        let g = geom();
+        let rects = minimal_rects(&g, &ResourceVec::ZERO);
+        assert_eq!(rects, vec![Rect::new(0, 1, 0, 1)]);
+    }
+
+    #[test]
+    fn single_kind_demand_prefers_single_column() {
+        let g = geom();
+        // 50 CLBs fit in one CLB column x 1 row.
+        let rects = minimal_rects(&g, &ResourceVec::new(50, 0, 0));
+        let best = rects.first().unwrap();
+        assert_eq!(best.area(), 1);
+        assert_eq!(g.columns[best.col_start as usize], FabricColumn::Clb);
+    }
+
+    #[test]
+    fn taller_spans_allow_narrower_rects() {
+        let g = geom();
+        // 100 CLBs: 1 column x 2 rows, or 2 columns x 1 row.
+        let rects = minimal_rects(&g, &ResourceVec::new(100, 0, 0));
+        assert!(rects.iter().any(|r| r.width() == 1 && r.height() == 2));
+        assert!(rects.iter().any(|r| r.width() == 2 && r.height() == 1));
+    }
+
+    #[test]
+    fn empty_geometry() {
+        let g = FabricGeometry {
+            columns: vec![],
+            rows: 0,
+        };
+        assert!(minimal_rects(&g, &ResourceVec::new(1, 0, 0)).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # prfpga-floorplan
+//!
+//! Floorplanning substrate: decides whether a set of reconfigurable regions
+//! admits a feasible placement on a column-based FPGA fabric.
+//!
+//! The paper delegates this question to the MILP floorplanner of its
+//! ref. \[3\] (Rabozzi et al., FCCM 2015) solved with Gurobi, *with no
+//! objective function* — the scheduler only needs a yes/no answer within a
+//! small time budget (§V-H). This crate reproduces that contract with an
+//! exact combinatorial search:
+//!
+//! 1. [`candidates`] enumerates, per region, the *minimal feasible
+//!    rectangles* on the fabric grid — every rectangle that satisfies the
+//!    region's CLB/BRAM/DSP demand and is minimal in width for its column
+//!    origin and row span (the "feasible placements detection" idea of
+//!    ref. \[3\]);
+//! 2. [`solver`] runs a most-constrained-first backtracking search over
+//!    those candidates for a pairwise-disjoint selection, with a wall-clock
+//!    budget.
+//!
+//! The search is exact: [`FloorplanOutcome::Infeasible`] is a proof, while
+//! [`FloorplanOutcome::Timeout`] is returned when the budget expires first
+//! (callers treat it as "not feasible now", exactly as the paper treats a
+//! floorplanner failure).
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod rect;
+pub mod render;
+pub mod solver;
+
+pub use rect::Rect;
+pub use render::render_fabric;
+pub use solver::{FloorplanOutcome, Floorplanner, FloorplannerConfig};

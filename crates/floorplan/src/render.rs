@@ -1,0 +1,86 @@
+//! ASCII rendering of fabric grids and placements.
+//!
+//! Draws the column map of a [`FabricGeometry`] (`.` CLB, `B` BRAM,
+//! `D` DSP) with placed regions overlaid as digits/letters — the quickest
+//! way to eyeball a floorplanning witness.
+
+use std::fmt::Write as _;
+
+use prfpga_model::{FabricColumn, FabricGeometry};
+
+use crate::rect::Rect;
+
+/// Renders the geometry with `placements` overlaid; placement `i` is drawn
+/// with the `i`-th symbol of `0-9a-z`, cells not covered by any region show
+/// the column kind.
+pub fn render_fabric(geometry: &FabricGeometry, placements: &[Rect]) -> String {
+    let cols = geometry.columns.len();
+    let rows = geometry.rows as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fabric: {cols} columns x {rows} rows, {} regions placed",
+        placements.len()
+    );
+    // Header: column kinds.
+    out.push_str("      ");
+    for c in &geometry.columns {
+        out.push(match c {
+            FabricColumn::Clb => '.',
+            FabricColumn::Bram => 'B',
+            FabricColumn::Dsp => 'D',
+        });
+    }
+    out.push('\n');
+
+    const SYMBOLS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    for row in 0..rows {
+        let _ = write!(out, "row {row:>2}|");
+        for col in 0..cols {
+            let owner = placements.iter().position(|r| {
+                (r.col_start as usize) <= col
+                    && col < r.col_end as usize
+                    && (r.row_start as usize) <= row
+                    && row < r.row_end as usize
+            });
+            out.push(match owner {
+                Some(i) => SYMBOLS[i % SYMBOLS.len()] as char,
+                None => match geometry.columns[col] {
+                    FabricColumn::Clb => '.',
+                    FabricColumn::Bram => 'B',
+                    FabricColumn::Dsp => 'D',
+                },
+            });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grid_and_regions() {
+        let geom = FabricGeometry::from_pattern(
+            &[FabricColumn::Clb, FabricColumn::Clb, FabricColumn::Bram],
+            2,
+            2,
+        );
+        let placements = vec![Rect::new(0, 2, 0, 1), Rect::new(2, 4, 1, 2)];
+        let s = render_fabric(&geom, &placements);
+        assert!(s.contains("6 columns x 2 rows"));
+        // Row 0: region 0 covers cols 0-1; col 2 shows its BRAM kind.
+        assert!(s.contains("row  0|00B..B|"));
+        // Row 1: region 1 covers cols 2-3.
+        assert!(s.contains("row  1|..11.B|"));
+    }
+
+    #[test]
+    fn empty_placement_shows_kinds_only() {
+        let geom = FabricGeometry::from_pattern(&[FabricColumn::Dsp], 3, 1);
+        let s = render_fabric(&geom, &[]);
+        assert!(s.contains("row  0|DDD|"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Exact backtracking search for a disjoint placement of all regions.
+
+use std::time::{Duration, Instant};
+
+use prfpga_model::{Device, FabricGeometry, ResourceVec};
+
+use crate::candidates::minimal_rects;
+use crate::rect::Rect;
+
+/// Configuration of the [`Floorplanner`].
+#[derive(Debug, Clone)]
+pub struct FloorplannerConfig {
+    /// Wall-clock budget for one `solve` call. The paper runs its MILP
+    /// floorplanner "to verify the existence of a solution in a small
+    /// amount of time"; the same contract applies here.
+    pub time_limit: Duration,
+    /// Cap on candidate rectangles kept per region (smallest first). The
+    /// enumeration is complete; the cap trades completeness for speed on
+    /// pathological instances and is high enough to be irrelevant for every
+    /// suite in this repository.
+    pub max_candidates_per_region: usize,
+}
+
+impl Default for FloorplannerConfig {
+    fn default() -> Self {
+        FloorplannerConfig {
+            time_limit: Duration::from_millis(250),
+            max_candidates_per_region: 4096,
+        }
+    }
+}
+
+/// Outcome of a floorplanning query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloorplanOutcome {
+    /// A disjoint placement exists; one witness rectangle per region, in
+    /// region order.
+    Feasible(Vec<Rect>),
+    /// No disjoint placement exists (exact proof).
+    Infeasible,
+    /// The time budget expired before the search concluded.
+    Timeout,
+}
+
+impl FloorplanOutcome {
+    /// True for [`FloorplanOutcome::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, FloorplanOutcome::Feasible(_))
+    }
+}
+
+/// Exact feasibility floorplanner over a column-based fabric.
+///
+/// ```
+/// use prfpga_floorplan::{FloorplanOutcome, Floorplanner};
+/// use prfpga_model::{Device, ResourceVec};
+///
+/// let planner = Floorplanner::default();
+/// let device = Device::xc7z020();
+/// let regions = vec![ResourceVec::new(600, 10, 20), ResourceVec::new(400, 0, 0)];
+/// match planner.check_device(&device, &regions) {
+///     FloorplanOutcome::Feasible(rects) => {
+///         assert_eq!(rects.len(), 2);
+///         assert!(!rects[0].overlaps(&rects[1]));
+///     }
+///     other => panic!("small region sets place trivially, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Floorplanner {
+    config: FloorplannerConfig,
+}
+
+impl Floorplanner {
+    /// Builds a floorplanner with the given configuration.
+    pub fn new(config: FloorplannerConfig) -> Self {
+        Floorplanner { config }
+    }
+
+    /// Answers the scheduler's question: do `demands` (one [`ResourceVec`]
+    /// per reconfigurable region) admit a disjoint placement on `device`?
+    ///
+    /// A device without geometry information never constrains placement
+    /// beyond the capacity checks the scheduler already performs, so it
+    /// reports `Feasible` with no witness rectangles.
+    pub fn check_device(&self, device: &Device, demands: &[ResourceVec]) -> FloorplanOutcome {
+        match &device.geometry {
+            Some(geom) => self.solve(geom, demands),
+            None => FloorplanOutcome::Feasible(vec![]),
+        }
+    }
+
+    /// Exact search for a disjoint placement of `demands` on `geometry`.
+    pub fn solve(&self, geometry: &FabricGeometry, demands: &[ResourceVec]) -> FloorplanOutcome {
+        if demands.is_empty() {
+            return FloorplanOutcome::Feasible(vec![]);
+        }
+        // Quick capacity cut: total demand must fit the grid.
+        let total: ResourceVec = demands.iter().copied().sum();
+        if !total.fits_in(&geometry.total_resources()) {
+            return FloorplanOutcome::Infeasible;
+        }
+
+        // Segment-counting cut: a region demanding `d` units of a scarce
+        // kind (BRAM/DSP) must cover at least ceil(d / units_per_segment)
+        // whole column-segments of that kind, and segments are exclusive.
+        // This necessary condition catches most over-subscribed region
+        // sets instantly, long before the rectangle search would.
+        for kind in [prfpga_model::ResourceKind::Bram, prfpga_model::ResourceKind::Dsp] {
+            let per_segment = match kind {
+                prfpga_model::ResourceKind::Bram => 10u64,
+                prfpga_model::ResourceKind::Dsp => 20,
+                prfpga_model::ResourceKind::Clb => 50,
+            };
+            let segments: u64 = geometry
+                .columns
+                .iter()
+                .filter(|c| c.kind() == kind)
+                .count() as u64
+                * geometry.rows as u64;
+            let needed: u64 = demands
+                .iter()
+                .map(|d| d[kind].div_ceil(per_segment))
+                .sum();
+            if needed > segments {
+                return FloorplanOutcome::Infeasible;
+            }
+        }
+
+        let deadline = Instant::now() + self.config.time_limit;
+
+        // Candidate sets. Ordering matters a lot: BRAM/DSP columns are the
+        // scarce commodity on a column fabric, so a candidate that covers
+        // *more special columns than its demand warrants* wastes them for
+        // every later region. Prefer candidates covering the fewest
+        // unneeded special columns, then pack bottom-left by area.
+        let special_cols: Vec<u32> = geometry
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c, prfpga_model::FabricColumn::Clb))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let specials_covered = |r: &Rect| -> u64 {
+            special_cols
+                .iter()
+                .filter(|&&c| r.col_start <= c && c < r.col_end)
+                .count() as u64
+                * r.height() as u64
+        };
+        let mut regions: Vec<(usize, Vec<Rect>)> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mut cands = minimal_rects(geometry, d);
+                cands.sort_by_key(|r| {
+                    (specials_covered(r), r.area(), r.col_start, r.row_start)
+                });
+                cands.truncate(self.config.max_candidates_per_region);
+                (i, cands)
+            })
+            .collect();
+        if regions.iter().any(|(_, c)| c.is_empty()) {
+            return FloorplanOutcome::Infeasible;
+        }
+        // Most-constrained-first: fewest candidates, then largest minimal
+        // footprint — classic first-fit-decreasing order.
+        regions.sort_by_key(|(i, c)| {
+            (
+                c.len(),
+                std::cmp::Reverse(c.first().map_or(0, Rect::area)),
+                *i,
+            )
+        });
+
+        // Symmetry breaking: regions with identical candidate lists are
+        // interchangeable; force them to take candidates in increasing
+        // index order. `sym_prev[k] = Some(j)` means slot k must pick a
+        // candidate index strictly greater than slot j's.
+        let mut sym_prev: Vec<Option<usize>> = vec![None; regions.len()];
+        for k in 1..regions.len() {
+            if regions[k].1 == regions[k - 1].1 {
+                sym_prev[k] = Some(k - 1);
+            }
+        }
+
+        // Area bound: minimal cells each region must still claim.
+        let min_area: Vec<u64> = regions
+            .iter()
+            .map(|(_, c)| c.iter().map(Rect::area).min().unwrap_or(0))
+            .collect();
+        let mut rem_min_area: Vec<u64> = vec![0; regions.len() + 1];
+        for k in (0..regions.len()).rev() {
+            rem_min_area[k] = rem_min_area[k + 1] + min_area[k];
+        }
+        let total_cells = geometry.columns.len() as u64 * geometry.rows as u64;
+
+        // Greedy bottom-left pre-passes over a few placement orders:
+        // each costs O(regions x candidates) and succeeds on most loose
+        // instances, so the exact search only sees the hard cases.
+        #[allow(clippy::type_complexity)]
+        let greedy_orders: [&dyn Fn(&(usize, Vec<Rect>)) -> (u64, u64, usize); 3] = [
+            // Most-constrained first (the DFS order).
+            &|(i, c)| (c.len() as u64, u64::MAX - c.first().map_or(0, Rect::area), *i),
+            // Largest minimal footprint first (first-fit decreasing).
+            &|(i, c)| (u64::MAX - c.first().map_or(0, Rect::area), c.len() as u64, *i),
+            // Scarce-resource regions first (fewest candidates), then by
+            // leftmost candidate position to sweep the fabric.
+            &|(i, c)| (
+                c.len() as u64,
+                c.first().map_or(0, |r| r.col_start as u64),
+                *i,
+            ),
+        ];
+        for key in greedy_orders {
+            let mut order: Vec<&(usize, Vec<Rect>)> = regions.iter().collect();
+            order.sort_by_key(|r| key(r));
+            let mut chosen: Vec<(usize, Rect)> = Vec::with_capacity(regions.len());
+            let mut ok = true;
+            for (region_idx, cands) in &order {
+                match cands
+                    .iter()
+                    .find(|c| chosen.iter().all(|(_, p)| !p.overlaps(c)))
+                {
+                    Some(c) => chosen.push((*region_idx, *c)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let mut out = vec![Rect::new(0, 1, 0, 1); demands.len()];
+                for (region_idx, rect) in chosen {
+                    out[region_idx] = rect;
+                }
+                return FloorplanOutcome::Feasible(out);
+            }
+        }
+
+        let mut search = Search {
+            regions: &regions,
+            sym_prev: &sym_prev,
+            rem_min_area: &rem_min_area,
+            total_cells,
+            deadline,
+            timed_out: false,
+            chosen_idx: Vec::with_capacity(regions.len()),
+            chosen: Vec::with_capacity(regions.len()),
+            used_cells: 0,
+        };
+        if search.place(0) {
+            let chosen = search.chosen;
+            FloorplanOutcome::Feasible(Self::unpermute(&regions, &chosen, demands.len()))
+        } else if search.timed_out {
+            FloorplanOutcome::Timeout
+        } else {
+            FloorplanOutcome::Infeasible
+        }
+    }
+
+    fn unpermute(regions: &[(usize, Vec<Rect>)], chosen: &[Rect], n: usize) -> Vec<Rect> {
+        let mut out = vec![Rect::new(0, 1, 0, 1); n];
+        for (slot, (region_idx, _)) in regions.iter().enumerate() {
+            out[*region_idx] = chosen[slot];
+        }
+        out
+    }
+}
+
+/// DFS state for the exact search.
+struct Search<'a> {
+    regions: &'a [(usize, Vec<Rect>)],
+    sym_prev: &'a [Option<usize>],
+    rem_min_area: &'a [u64],
+    total_cells: u64,
+    deadline: Instant,
+    timed_out: bool,
+    chosen_idx: Vec<usize>,
+    chosen: Vec<Rect>,
+    used_cells: u64,
+}
+
+impl Search<'_> {
+    // `idx` feeds `chosen_idx` (symmetry breaking), so the index loop is
+    // the honest form.
+    #[allow(clippy::needless_range_loop)]
+    fn place(&mut self, depth: usize) -> bool {
+        if depth == self.regions.len() {
+            return true;
+        }
+        // Clock check once per node, not per candidate.
+        if Instant::now() > self.deadline {
+            self.timed_out = true;
+            return false;
+        }
+        // Area cut: the untouched cells must cover the remaining minimal
+        // footprints.
+        if self.total_cells - self.used_cells < self.rem_min_area[depth] {
+            return false;
+        }
+        let start_idx = match self.sym_prev[depth] {
+            Some(prev_slot) => self.chosen_idx[prev_slot] + 1,
+            None => 0,
+        };
+        let cands = &self.regions[depth].1;
+        for idx in start_idx..cands.len() {
+            let cand = cands[idx];
+            if self.chosen.iter().any(|c| c.overlaps(&cand)) {
+                continue;
+            }
+            self.chosen.push(cand);
+            self.chosen_idx.push(idx);
+            self.used_cells += cand.area();
+            if self.place(depth + 1) {
+                return true;
+            }
+            self.used_cells -= cand.area();
+            self.chosen_idx.pop();
+            self.chosen.pop();
+            if self.timed_out {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::FabricColumn;
+
+    fn geom() -> FabricGeometry {
+        FabricGeometry::from_pattern(
+            &[
+                FabricColumn::Clb,
+                FabricColumn::Clb,
+                FabricColumn::Bram,
+                FabricColumn::Clb,
+                FabricColumn::Dsp,
+            ],
+            2,
+            2,
+        )
+    }
+
+    fn planner() -> Floorplanner {
+        Floorplanner::new(FloorplannerConfig {
+            time_limit: Duration::from_secs(5),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn empty_demand_is_feasible() {
+        assert_eq!(planner().solve(&geom(), &[]), FloorplanOutcome::Feasible(vec![]));
+    }
+
+    #[test]
+    fn single_region_fits() {
+        let out = planner().solve(&geom(), &[ResourceVec::new(100, 10, 0)]);
+        let FloorplanOutcome::Feasible(rects) = out else {
+            panic!("expected feasible, got {out:?}");
+        };
+        assert_eq!(rects.len(), 1);
+        let g = geom();
+        assert!(ResourceVec::new(100, 10, 0).fits_in(&rects[0].resources(&g)));
+    }
+
+    #[test]
+    fn disjointness_is_enforced() {
+        // Two regions each needing all the BRAM of one column over both
+        // rows: they must land on the two different BRAM columns.
+        let demand = ResourceVec::new(0, 20, 0);
+        let out = planner().solve(&geom(), &[demand, demand]);
+        let FloorplanOutcome::Feasible(rects) = out else {
+            panic!("expected feasible, got {out:?}");
+        };
+        assert!(!rects[0].overlaps(&rects[1]));
+        let g = geom();
+        for r in &rects {
+            assert!(demand.fits_in(&r.resources(&g)));
+        }
+    }
+
+    #[test]
+    fn over_capacity_is_infeasible() {
+        // Grid total BRAM = 2 columns x 10 x 2 rows = 40.
+        let out = planner().solve(&geom(), &[ResourceVec::new(0, 41, 0)]);
+        assert_eq!(out, FloorplanOutcome::Infeasible);
+    }
+
+    #[test]
+    fn fragmentation_can_make_fitting_sets_infeasible() {
+        // Three regions each demanding 20 BRAM (a full BRAM column, both
+        // rows): capacity check passes for two but the third has nowhere
+        // to go. Total demand 60 > 40 -> capacity cut. Use 2x20 + try to
+        // squeeze a third demanding the remaining... instead: two full-
+        // column BRAM regions are fine; three 10-BRAM regions need three
+        // half-columns - feasible (4 half-column slots exist). Make it
+        // truly infeasible: four regions each demanding 11 BRAM: each needs
+        // a full column (11 > 10 per row => height 2), only 2 columns.
+        let demand = ResourceVec::new(0, 11, 0);
+        let out = planner().solve(&geom(), &[demand, demand, demand]);
+        assert_eq!(out, FloorplanOutcome::Infeasible);
+    }
+
+    #[test]
+    fn check_device_without_geometry_is_feasible() {
+        let dev = Device::tiny_test(ResourceVec::new(10, 10, 10), 1);
+        let out = planner().check_device(&dev, &[ResourceVec::new(5, 5, 5)]);
+        assert_eq!(out, FloorplanOutcome::Feasible(vec![]));
+    }
+
+    #[test]
+    fn xc7z020_hosts_typical_region_sets() {
+        let dev = Device::xc7z020();
+        let demands = vec![
+            ResourceVec::new(600, 10, 20),
+            ResourceVec::new(400, 4, 10),
+            ResourceVec::new(900, 16, 0),
+            ResourceVec::new(200, 0, 40),
+        ];
+        let out = planner().check_device(&dev, &demands);
+        assert!(out.is_feasible(), "got {out:?}");
+        if let FloorplanOutcome::Feasible(rects) = out {
+            for i in 0..rects.len() {
+                for j in (i + 1)..rects.len() {
+                    assert!(!rects[i].overlaps(&rects[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        // Zero budget forces a timeout on any non-trivial search.
+        let p = Floorplanner::new(FloorplannerConfig {
+            time_limit: Duration::from_nanos(0),
+            ..Default::default()
+        });
+        let demand = ResourceVec::new(0, 11, 0);
+        let out = p.solve(&geom(), &[demand, demand, demand]);
+        // Either it proves infeasibility before the first clock check or it
+        // times out; both are acceptable terminations, never Feasible.
+        assert!(!out.is_feasible());
+    }
+}

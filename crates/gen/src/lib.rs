@@ -1,0 +1,28 @@
+//! # prfpga-gen
+//!
+//! Seeded synthetic benchmark generator reproducing the evaluation workload
+//! of the paper (§VII-A):
+//!
+//! * pseudo-random layered task DAGs;
+//! * one software implementation plus three hardware implementations per
+//!   task, with heterogeneous CLB/BRAM/DSP requirements along a
+//!   time-vs-area trade-off curve (as HLS loop-unrolling would produce);
+//! * implementation sharing across tasks so that module reuse is possible
+//!   for baselines that exploit it;
+//! * the standard suite: 10 groups x 10 graphs with 10..100 tasks per
+//!   graph, targeting the ZedBoard architecture.
+//!
+//! Everything is driven by `ChaCha8Rng` from fixed seeds, so every build of
+//! the experiment harness sees the byte-identical suite.
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod stats;
+pub mod suite;
+pub mod topology;
+
+pub use profile::{ImplProfile, TaskKind};
+pub use stats::{instance_stats, InstanceStats};
+pub use suite::{standard_suite, SuiteConfig};
+pub use topology::{GraphConfig, TaskGraphGenerator, Topology};

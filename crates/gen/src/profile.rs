@@ -1,0 +1,277 @@
+//! Implementation-set generation: the time-vs-area trade-off curve.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use prfpga_model::{ImplId, ImplPool, Implementation, ResourceVec, Time};
+
+/// The dominant resource flavour of a task's hardware implementations.
+///
+/// Real kernels lean on different fabric resources: filters and linear
+/// algebra burn DSP slices, buffering-heavy kernels burn BRAM, control and
+/// bit-twiddling kernels burn logic. A flavour skews the generated
+/// requirement vector accordingly, producing the "heterogeneous resource
+/// requirements" of §VII-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// CLB-dominated kernel.
+    LogicHeavy,
+    /// BRAM-dominated kernel.
+    MemoryHeavy,
+    /// DSP-dominated kernel.
+    ArithmeticHeavy,
+    /// Balanced kernel.
+    Balanced,
+}
+
+impl TaskKind {
+    /// All flavours.
+    pub const ALL: [TaskKind; 4] = [
+        TaskKind::LogicHeavy,
+        TaskKind::MemoryHeavy,
+        TaskKind::ArithmeticHeavy,
+        TaskKind::Balanced,
+    ];
+
+    /// Samples a kind with realistic frequencies: most HLS kernels are
+    /// logic-dominated; BRAM- and DSP-hungry ones are the minority (and a
+    /// column-based fabric can only host so many of them concurrently).
+    pub fn sample<R: rand::Rng + rand::RngExt>(rng: &mut R) -> TaskKind {
+        match rng.random_range(0..100u32) {
+            0..55 => TaskKind::LogicHeavy,
+            55..75 => TaskKind::MemoryHeavy,
+            75..90 => TaskKind::ArithmeticHeavy,
+            _ => TaskKind::Balanced,
+        }
+    }
+
+    /// Multipliers (percent) applied to the baseline BRAM/DSP usage.
+    fn skew(self) -> (u64, u64) {
+        match self {
+            // Pure-logic kernels use no block RAM or DSP at all: this is
+            // common in practice and keeps their regions placeable in any
+            // CLB-only stretch of fabric.
+            TaskKind::LogicHeavy => (0, 0),
+            TaskKind::MemoryHeavy => (250, 0),
+            TaskKind::ArithmeticHeavy => (0, 250),
+            TaskKind::Balanced => (60, 60),
+        }
+    }
+}
+
+/// Parameters of the implementation generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImplProfile {
+    /// Baseline hardware work per task in ticks, sampled uniformly from
+    /// this inclusive range. The default (500..=5000 with ticks read as
+    /// microseconds) makes task execution comparable to region
+    /// reconfiguration on a Zynq, as in the paper's setting.
+    pub hw_time_range: (Time, Time),
+    /// Software slowdown over the *fastest* hardware implementation,
+    /// sampled from this inclusive range (x100, i.e. 300 means 3x).
+    pub sw_slowdown_pct: (u64, u64),
+    /// Number of hardware implementations per task (the paper uses 3).
+    pub hw_impls_per_task: usize,
+    /// CLB requirement of the mid-point implementation, sampled uniformly
+    /// from this inclusive range.
+    pub clb_range: (u64, u64),
+    /// Probability (percent) that a task reuses the implementation set of
+    /// an earlier task of the same kind, enabling module reuse.
+    pub share_impl_pct: u64,
+}
+
+impl Default for ImplProfile {
+    fn default() -> Self {
+        ImplProfile {
+            hw_time_range: (500, 5000),
+            sw_slowdown_pct: (300, 600),
+            hw_impls_per_task: 3,
+            clb_range: (300, 1000),
+            share_impl_pct: 15,
+        }
+    }
+}
+
+impl ImplProfile {
+    /// Generates the implementation set for one task: one software
+    /// implementation and `hw_impls_per_task` hardware variants spanning a
+    /// fast/large to slow/small trade-off.
+    ///
+    /// Returns the implementation ids (software first).
+    pub fn generate_task_impls<R: Rng>(
+        &self,
+        rng: &mut R,
+        pool: &mut ImplPool,
+        task_name: &str,
+        kind: TaskKind,
+        device_cap: &ResourceVec,
+    ) -> Vec<ImplId> {
+        let base_time = rng.random_range(self.hw_time_range.0..=self.hw_time_range.1);
+        let slowdown = rng.random_range(self.sw_slowdown_pct.0..=self.sw_slowdown_pct.1);
+        let base_clb = rng.random_range(self.clb_range.0..=self.clb_range.1);
+        let (bram_skew, dsp_skew) = kind.skew();
+
+        let mut ids = Vec::with_capacity(1 + self.hw_impls_per_task);
+
+        // Fastest hardware time: variants scale up from this.
+        let sw_time = (base_time * slowdown / 100).max(1);
+        ids.push(pool.add(Implementation::software(
+            format!("{task_name}_sw"),
+            sw_time,
+        )));
+
+        // Hardware variants: index v in 0..k maps to a point on the
+        // trade-off curve. v = 0 is the fastest and largest (think full
+        // unroll), the last v is the slowest and smallest (no unroll).
+        // time multiplier grows ~linearly, area shrinks ~inversely — the
+        // classic HLS unrolling shape, with +-15% jitter so the curve is
+        // not exactly degenerate.
+        let k = self.hw_impls_per_task.max(1);
+        for v in 0..k {
+            // time factor in percent: 100, 160, 220, ...
+            let time_pct = 100 + (v as u64) * 60;
+            // area factor in percent of base: 220, 130, 77, ... (geometric)
+            let mut area_pct = 220u64;
+            for _ in 0..v {
+                area_pct = area_pct * 10 / 17; // divide by 1.7
+            }
+            let jitter = |rng: &mut R, x: u64| -> u64 {
+                let j = rng.random_range(85..=115);
+                if x == 0 {
+                    0
+                } else {
+                    (x * j / 100).max(1)
+                }
+            };
+            let time = jitter(rng, base_time * time_pct / 100);
+            let clb = jitter(rng, (base_clb * area_pct / 100).max(20));
+            let bram = jitter(rng, (clb * bram_skew / 100).div_ceil(120)).min(device_cap.0[1] / 2);
+            let dsp = jitter(rng, (clb * dsp_skew / 100).div_ceil(60)).min(device_cap.0[2] / 2);
+            let res = ResourceVec::new(clb.min(device_cap.0[0] / 2), bram, dsp);
+            ids.push(pool.add(Implementation::hardware(
+                format!("{task_name}_hw{v}"),
+                time.min(sw_time.saturating_sub(1).max(1)),
+                res,
+            )));
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cap() -> ResourceVec {
+        ResourceVec::new(13_300, 140, 220)
+    }
+
+    #[test]
+    fn generates_one_sw_and_k_hw() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut pool = ImplPool::new();
+        let profile = ImplProfile::default();
+        let ids = profile.generate_task_impls(&mut rng, &mut pool, "t0", TaskKind::Balanced, &cap());
+        assert_eq!(ids.len(), 4);
+        assert!(pool.get(ids[0]).is_software());
+        for &id in &ids[1..] {
+            assert!(pool.get(id).is_hardware());
+        }
+    }
+
+    #[test]
+    fn tradeoff_curve_shape() {
+        // Later variants must (on average) be slower and smaller. With
+        // jitter the ordering can locally flip; check the extremes over
+        // many samples.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let profile = ImplProfile::default();
+        let mut faster_first = 0;
+        let mut smaller_last = 0;
+        const N: usize = 100;
+        for i in 0..N {
+            let mut pool = ImplPool::new();
+            let ids =
+                profile.generate_task_impls(&mut rng, &mut pool, &format!("t{i}"), TaskKind::Balanced, &cap());
+            let first = pool.get(ids[1]).clone();
+            let last = pool.get(*ids.last().unwrap()).clone();
+            if first.time <= last.time {
+                faster_first += 1;
+            }
+            if last.resources().get(prfpga_model::ResourceKind::Clb)
+                <= first.resources().get(prfpga_model::ResourceKind::Clb)
+            {
+                smaller_last += 1;
+            }
+        }
+        assert!(faster_first > N * 9 / 10, "fast variant usually fastest: {faster_first}");
+        assert!(smaller_last > N * 9 / 10, "small variant usually smallest: {smaller_last}");
+    }
+
+    #[test]
+    fn software_is_slowest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let profile = ImplProfile::default();
+        for i in 0..50 {
+            let mut pool = ImplPool::new();
+            let ids =
+                profile.generate_task_impls(&mut rng, &mut pool, &format!("t{i}"), TaskKind::Balanced, &cap());
+            let sw = pool.get(ids[0]).time;
+            for &id in &ids[1..] {
+                assert!(pool.get(id).time < sw, "hardware beats software");
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_skew_resources() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let profile = ImplProfile::default();
+        let mut dsp_total_arith = 0u64;
+        let mut dsp_total_logic = 0u64;
+        for i in 0..50 {
+            let mut pool = ImplPool::new();
+            let a = profile.generate_task_impls(
+                &mut rng, &mut pool, &format!("a{i}"), TaskKind::ArithmeticHeavy, &cap());
+            let l = profile.generate_task_impls(
+                &mut rng, &mut pool, &format!("l{i}"), TaskKind::LogicHeavy, &cap());
+            dsp_total_arith += pool.get(a[1]).resources().get(prfpga_model::ResourceKind::Dsp);
+            dsp_total_logic += pool.get(l[1]).resources().get(prfpga_model::ResourceKind::Dsp);
+        }
+        assert!(
+            dsp_total_arith > dsp_total_logic * 2,
+            "arithmetic kernels must use far more DSP ({dsp_total_arith} vs {dsp_total_logic})"
+        );
+    }
+
+    #[test]
+    fn requirements_stay_placeable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let profile = ImplProfile::default();
+        let cap = cap();
+        for i in 0..100 {
+            let mut pool = ImplPool::new();
+            for kind in TaskKind::ALL {
+                let ids = profile.generate_task_impls(
+                    &mut rng, &mut pool, &format!("t{i}"), kind, &cap);
+                for &id in &ids[1..] {
+                    assert!(pool.get(id).resources().fits_in(&cap));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let gen_once = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut pool = ImplPool::new();
+            let profile = ImplProfile::default();
+            profile.generate_task_impls(&mut rng, &mut pool, "t", TaskKind::MemoryHeavy, &cap());
+            pool
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

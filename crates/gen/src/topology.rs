@@ -1,0 +1,350 @@
+//! Random DAG topologies and full-instance generation.
+
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use prfpga_model::{Architecture, ImplPool, ProblemInstance, TaskGraph, TaskId};
+
+use crate::profile::{ImplProfile, TaskKind};
+
+/// Shape of the generated DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Layered pseudo-random DAG (TGFF-like): tasks are distributed over
+    /// layers, arcs go from earlier to later layers. This is the default
+    /// and matches the paper's "pseudo-random taskgraphs".
+    Layered,
+    /// A single chain (worst case for parallelism, exercised in §VII-B's
+    /// "reduced level of parallelism" remark).
+    Chain,
+    /// One source fanning out to independent tasks joined by one sink
+    /// (maximal parallelism).
+    ForkJoin,
+    /// Nested series-parallel composition.
+    SeriesParallel,
+}
+
+/// Parameters for one generated instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Number of application tasks.
+    pub num_tasks: usize,
+    /// DAG shape.
+    pub topology: Topology,
+    /// Average out-degree for [`Topology::Layered`] (x100, 150 = 1.5 arcs).
+    pub avg_out_degree_x100: u64,
+    /// Average tasks per layer for [`Topology::Layered`] (x100).
+    pub layer_width_x100: u64,
+    /// Implementation generation profile.
+    pub impl_profile: ImplProfile,
+    /// Per-edge communication cost range in ticks, sampled uniformly;
+    /// `(0, 0)` (the default) reproduces the paper's base model where
+    /// communication is folded into execution times.
+    pub comm_cost_range: (u64, u64),
+}
+
+impl GraphConfig {
+    /// The paper-suite configuration for `num_tasks` tasks.
+    pub fn standard(num_tasks: usize) -> Self {
+        GraphConfig {
+            num_tasks,
+            topology: Topology::Layered,
+            avg_out_degree_x100: 150,
+            layer_width_x100: 300,
+            impl_profile: ImplProfile::default(),
+            comm_cost_range: (0, 0),
+        }
+    }
+}
+
+/// Deterministic task-graph generator.
+///
+/// ```
+/// use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+/// use prfpga_model::Architecture;
+///
+/// let gen = TaskGraphGenerator::new(42);
+/// let inst = gen.generate("demo", &GraphConfig::standard(25), Architecture::zedboard_pr());
+/// assert_eq!(inst.graph.len(), 25);
+/// // Same seed, same everything.
+/// let again = gen.generate("demo", &GraphConfig::standard(25), Architecture::zedboard_pr());
+/// assert_eq!(inst, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraphGenerator {
+    seed: u64,
+}
+
+impl TaskGraphGenerator {
+    /// Creates a generator; all output is a pure function of `(seed,
+    /// config, name)`.
+    pub fn new(seed: u64) -> Self {
+        TaskGraphGenerator { seed }
+    }
+
+    /// Generates a full validated instance for `architecture`.
+    pub fn generate(
+        &self,
+        name: &str,
+        config: &GraphConfig,
+        architecture: Architecture,
+    ) -> ProblemInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ hash_name(name));
+        let n = config.num_tasks;
+        let device_cap = architecture.device.max_res;
+
+        // --- implementations -------------------------------------------------
+        let mut pool = ImplPool::new();
+        let mut graph = TaskGraph::new();
+        // Remember earlier implementation sets per kind for sharing.
+        let mut by_kind: Vec<Vec<Vec<prfpga_model::ImplId>>> =
+            vec![Vec::new(); TaskKind::ALL.len()];
+        for i in 0..n {
+            let kind = TaskKind::sample(&mut rng);
+            let kind_idx = TaskKind::ALL.iter().position(|&k| k == kind).unwrap();
+            let reuse = !by_kind[kind_idx].is_empty()
+                && rng.random_range(0..100) < config.impl_profile.share_impl_pct;
+            let impls = if reuse {
+                let pick = rng.random_range(0..by_kind[kind_idx].len());
+                by_kind[kind_idx][pick].clone()
+            } else {
+                let ids = config.impl_profile.generate_task_impls(
+                    &mut rng,
+                    &mut pool,
+                    &format!("t{i}"),
+                    kind,
+                    &device_cap,
+                );
+                by_kind[kind_idx].push(ids.clone());
+                ids
+            };
+            graph.add_task(format!("t{i}"), impls);
+        }
+
+        // --- topology ---------------------------------------------------------
+        match config.topology {
+            Topology::Layered => self.layered_edges(&mut rng, &mut graph, config),
+            Topology::Chain => {
+                for i in 1..n {
+                    graph.add_edge(TaskId(i as u32 - 1), TaskId(i as u32));
+                }
+            }
+            Topology::ForkJoin => {
+                if n >= 2 {
+                    for i in 1..n - 1 {
+                        graph.add_edge(TaskId(0), TaskId(i as u32));
+                        graph.add_edge(TaskId(i as u32), TaskId(n as u32 - 1));
+                    }
+                    if n == 2 {
+                        graph.add_edge(TaskId(0), TaskId(1));
+                    }
+                }
+            }
+            Topology::SeriesParallel => self.series_parallel_edges(&mut rng, &mut graph, n),
+        }
+
+        // Optional communication costs (the §VIII extension).
+        if config.comm_cost_range.1 > 0 {
+            let (lo, hi) = config.comm_cost_range;
+            graph.edge_costs = (0..graph.edges.len())
+                .map(|_| rng.random_range(lo..=hi))
+                .collect();
+        }
+
+        ProblemInstance::new(name, architecture, graph, pool)
+            .expect("generated instance must validate")
+    }
+
+    /// Layered DAG: partition 0..n into layers of random width, then draw
+    /// arcs from each task to tasks in strictly later layers.
+    fn layered_edges(&self, rng: &mut ChaCha8Rng, graph: &mut TaskGraph, config: &GraphConfig) {
+        let n = config.num_tasks;
+        if n < 2 {
+            return;
+        }
+        // Random layer widths around layer_width.
+        let mut layers: Vec<Vec<u32>> = Vec::new();
+        let mut next = 0u32;
+        while (next as usize) < n {
+            let w_target = (config.layer_width_x100 / 100).max(1) as u32;
+            let w = rng.random_range(1..=(2 * w_target)).min(n as u32 - next);
+            layers.push((next..next + w).collect());
+            next += w;
+        }
+        if layers.len() == 1 {
+            // Degenerate: split in two so at least some arcs exist.
+            let l = layers.pop().unwrap();
+            let (a, b) = l.split_at(l.len().div_ceil(2));
+            layers.push(a.to_vec());
+            layers.push(b.to_vec());
+        }
+        // Arcs: every non-first layer task gets >= 1 parent from an earlier
+        // layer (connectedness); extra arcs up to the target out-degree.
+        for li in 1..layers.len() {
+            for &t in &layers[li] {
+                let pl = rng.random_range(0..li);
+                let parent = *layers[pl].choose(rng).unwrap();
+                graph.add_edge(TaskId(parent), TaskId(t));
+            }
+        }
+        let extra_target = (n as u64 * config.avg_out_degree_x100 / 100).saturating_sub(n as u64);
+        for _ in 0..extra_target {
+            let li = rng.random_range(0..layers.len() - 1);
+            let lj = rng.random_range(li + 1..layers.len());
+            let a = *layers[li].choose(rng).unwrap();
+            let b = *layers[lj].choose(rng).unwrap();
+            graph.add_edge(TaskId(a), TaskId(b));
+        }
+    }
+
+    /// Series-parallel: recursively compose chains and parallel bundles
+    /// over the index range, wiring ranges in series.
+    fn series_parallel_edges(&self, rng: &mut ChaCha8Rng, graph: &mut TaskGraph, n: usize) {
+        // Simple recursive construction over contiguous id ranges; returns
+        // (entries, exits) of the range.
+        fn build(
+            rng: &mut ChaCha8Rng,
+            graph: &mut TaskGraph,
+            lo: u32,
+            hi: u32, // exclusive
+        ) -> (Vec<u32>, Vec<u32>) {
+            let len = hi - lo;
+            if len <= 1 {
+                return (vec![lo], vec![lo]);
+            }
+            if len == 2 || rng.random_bool(0.5) {
+                // Series: split range, connect exits of left to entries of right.
+                let mid = lo + rng.random_range(1..len);
+                let (le, lx) = build(rng, graph, lo, mid);
+                let (re, rx) = build(rng, graph, mid, hi);
+                for &x in &lx {
+                    for &e in &re {
+                        graph.add_edge(TaskId(x), TaskId(e));
+                    }
+                }
+                (le, rx)
+            } else {
+                // Parallel: split range into two independent bundles.
+                let mid = lo + rng.random_range(1..len);
+                let (mut le, mut lx) = build(rng, graph, lo, mid);
+                let (re, rx) = build(rng, graph, mid, hi);
+                le.extend(re);
+                lx.extend(rx);
+                (le, lx)
+            }
+        }
+        if n >= 2 {
+            build(rng, graph, 0, n as u32);
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a; stable across platforms and Rust versions.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_dag::Dag;
+
+    fn arch() -> Architecture {
+        Architecture::zedboard()
+    }
+
+    #[test]
+    fn generates_validated_instances() {
+        let g = TaskGraphGenerator::new(1);
+        for n in [1usize, 2, 10, 50] {
+            let inst = g.generate(&format!("n{n}"), &GraphConfig::standard(n), arch());
+            assert_eq!(inst.graph.len(), n);
+            assert!(inst.validate().is_ok());
+            // Acyclic.
+            assert!(Dag::from_taskgraph(&inst.graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn layered_graphs_are_weakly_connected_from_sources() {
+        let g = TaskGraphGenerator::new(2);
+        let inst = g.generate("conn", &GraphConfig::standard(40), arch());
+        let dag = Dag::from_taskgraph(&inst.graph).unwrap();
+        // Every non-source has at least one predecessor by construction.
+        let sources = dag.sources();
+        assert!(!sources.is_empty());
+        for v in 0..dag.len() as u32 {
+            if !sources.contains(&v) {
+                assert!(!dag.preds(v).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_calls() {
+        let a = TaskGraphGenerator::new(7).generate("x", &GraphConfig::standard(30), arch());
+        let b = TaskGraphGenerator::new(7).generate("x", &GraphConfig::standard(30), arch());
+        assert_eq!(a, b);
+        let c = TaskGraphGenerator::new(8).generate("x", &GraphConfig::standard(30), arch());
+        assert_ne!(a, c, "different seeds give different instances");
+    }
+
+    #[test]
+    fn chain_topology() {
+        let cfg = GraphConfig {
+            topology: Topology::Chain,
+            ..GraphConfig::standard(10)
+        };
+        let inst = TaskGraphGenerator::new(1).generate("chain", &cfg, arch());
+        assert_eq!(inst.graph.edges.len(), 9);
+        let dag = Dag::from_taskgraph(&inst.graph).unwrap();
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![9]);
+    }
+
+    #[test]
+    fn fork_join_topology() {
+        let cfg = GraphConfig {
+            topology: Topology::ForkJoin,
+            ..GraphConfig::standard(12)
+        };
+        let inst = TaskGraphGenerator::new(1).generate("fj", &cfg, arch());
+        let dag = Dag::from_taskgraph(&inst.graph).unwrap();
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![11]);
+        assert_eq!(dag.succs(0).len(), 10);
+    }
+
+    #[test]
+    fn series_parallel_topology_is_acyclic_single_source_sink_free() {
+        let cfg = GraphConfig {
+            topology: Topology::SeriesParallel,
+            ..GraphConfig::standard(25)
+        };
+        let inst = TaskGraphGenerator::new(5).generate("sp", &cfg, arch());
+        assert!(Dag::from_taskgraph(&inst.graph).is_ok());
+    }
+
+    #[test]
+    fn module_sharing_occurs() {
+        // With 100 tasks at 15% share probability, some tasks must share
+        // implementation sets.
+        let inst = TaskGraphGenerator::new(3).generate("share", &GraphConfig::standard(100), arch());
+        let mut seen = std::collections::HashSet::new();
+        let mut shared = false;
+        for t in &inst.graph.tasks {
+            if !seen.insert(t.impls.clone()) {
+                shared = true;
+                break;
+            }
+        }
+        assert!(shared, "expected at least one shared implementation set");
+    }
+}

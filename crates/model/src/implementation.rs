@@ -1,0 +1,168 @@
+//! Task implementations: hardware accelerators and software routines.
+//!
+//! Every task of the application owns a non-empty set of implementations
+//! (`I_t = I_t^H ∪ I_t^S`). Implementations live in a shared [`ImplPool`]
+//! and are referenced by [`ImplId`]; two tasks that point at the same
+//! [`ImplId`] *share* the implementation, which is what enables module reuse
+//! in baselines that support it (paper §VII-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::ResourceVec;
+use crate::time::Time;
+
+/// Index of an implementation inside the instance-wide [`ImplPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ImplId(pub u32);
+
+impl ImplId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether an implementation runs on the fabric or on a processor core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImplKind {
+    /// Hardware accelerator requiring `res_{i,r}` fabric resources.
+    Hardware(ResourceVec),
+    /// Software routine on one of the (homogeneous) processor cores.
+    Software,
+}
+
+/// One realization of a task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Implementation {
+    /// Debug/report label (e.g. `"fft_u4"` for an unroll-4 HLS variant).
+    pub name: String,
+    /// Hardware or software, with resource needs for hardware.
+    pub kind: ImplKind,
+    /// Execution time in ticks (`time_i`), inclusive of I/O as per §III.
+    pub time: Time,
+}
+
+impl Implementation {
+    /// Convenience constructor for a hardware implementation.
+    pub fn hardware(name: impl Into<String>, time: Time, res: ResourceVec) -> Self {
+        Implementation {
+            name: name.into(),
+            kind: ImplKind::Hardware(res),
+            time,
+        }
+    }
+
+    /// Convenience constructor for a software implementation.
+    pub fn software(name: impl Into<String>, time: Time) -> Self {
+        Implementation {
+            name: name.into(),
+            kind: ImplKind::Software,
+            time,
+        }
+    }
+
+    /// True for hardware implementations.
+    #[inline]
+    pub fn is_hardware(&self) -> bool {
+        matches!(self.kind, ImplKind::Hardware(_))
+    }
+
+    /// True for software implementations.
+    #[inline]
+    pub fn is_software(&self) -> bool {
+        matches!(self.kind, ImplKind::Software)
+    }
+
+    /// Fabric resources required, zero for software.
+    #[inline]
+    pub fn resources(&self) -> ResourceVec {
+        match self.kind {
+            ImplKind::Hardware(res) => res,
+            ImplKind::Software => ResourceVec::ZERO,
+        }
+    }
+}
+
+/// Instance-wide pool of implementations.
+///
+/// The pool is append-only; [`ImplId`]s are stable for the lifetime of the
+/// instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImplPool {
+    impls: Vec<Implementation>,
+}
+
+impl ImplPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an implementation, returning its id.
+    pub fn add(&mut self, imp: Implementation) -> ImplId {
+        let id = ImplId(u32::try_from(self.impls.len()).expect("too many implementations"));
+        self.impls.push(imp);
+        id
+    }
+
+    /// Looks up an implementation.
+    #[inline]
+    pub fn get(&self, id: ImplId) -> &Implementation {
+        &self.impls[id.index()]
+    }
+
+    /// Checked lookup.
+    pub fn try_get(&self, id: ImplId) -> Option<&Implementation> {
+        self.impls.get(id.index())
+    }
+
+    /// Number of pooled implementations.
+    pub fn len(&self) -> usize {
+        self.impls.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.impls.is_empty()
+    }
+
+    /// Iterates `(id, implementation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ImplId, &Implementation)> {
+        self.impls
+            .iter()
+            .enumerate()
+            .map(|(i, imp)| (ImplId(i as u32), imp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_ids_are_stable() {
+        let mut pool = ImplPool::new();
+        let a = pool.add(Implementation::software("sw", 100));
+        let b = pool.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 1, 0)));
+        assert_eq!(a, ImplId(0));
+        assert_eq!(b, ImplId(1));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get(a).is_software());
+        assert!(pool.get(b).is_hardware());
+        assert_eq!(pool.get(b).resources(), ResourceVec::new(5, 1, 0));
+        assert_eq!(pool.get(a).resources(), ResourceVec::ZERO);
+        assert!(pool.try_get(ImplId(2)).is_none());
+    }
+
+    #[test]
+    fn iter_matches_ids() {
+        let mut pool = ImplPool::new();
+        for i in 0..5u64 {
+            pool.add(Implementation::software(format!("s{i}"), i + 1));
+        }
+        for (id, imp) in pool.iter() {
+            assert_eq!(imp.time, id.0 as u64 + 1);
+        }
+    }
+}

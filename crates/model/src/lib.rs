@@ -1,0 +1,46 @@
+//! # prfpga-model
+//!
+//! Problem model shared by every crate in the `prfpga` workspace.
+//!
+//! This crate defines the vocabulary of the scheduling problem introduced in
+//! *"Resource-Efficient Scheduling for Partially-Reconfigurable FPGA-based
+//! Systems"* (Purgato et al., IPDPS-W 2016):
+//!
+//! * [`ResourceKind`] / [`ResourceVec`] — the heterogeneous reconfigurable
+//!   resources of the FPGA fabric (CLB, BRAM, DSP);
+//! * [`Device`] — a partially-reconfigurable FPGA device with per-resource
+//!   capacities, bitstream cost model and fabric geometry;
+//! * [`Implementation`] — a hardware or software realization of a task with
+//!   an execution time and (for hardware) a resource requirement;
+//! * [`TaskGraph`] — the application DAG;
+//! * [`Architecture`] / [`ProblemInstance`] — the full scheduling problem;
+//! * [`Schedule`] — the output artifact: reconfigurable regions, task
+//!   placements, time slots and reconfiguration tasks.
+//!
+//! All quantities are integral: time is measured in *ticks* (interpreted as
+//! microseconds throughout the workspace) and bitstream sizes in bits, so the
+//! schedulers are exactly reproducible across platforms.
+
+#![warn(missing_docs)]
+
+pub mod architecture;
+pub mod device;
+pub mod error;
+pub mod implementation;
+pub mod instance;
+pub mod resources;
+pub mod schedule;
+pub mod taskgraph;
+pub mod time;
+
+pub use architecture::Architecture;
+pub use device::{Device, FabricColumn, FabricGeometry};
+pub use error::ModelError;
+pub use implementation::{ImplId, ImplKind, ImplPool, Implementation};
+pub use instance::ProblemInstance;
+pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};
+pub use schedule::{
+    Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment,
+};
+pub use taskgraph::{EdgeId, TaskGraph, TaskId, TaskNode};
+pub use time::{Time, TimeWindow};

@@ -1,0 +1,317 @@
+//! Heterogeneous reconfigurable resource kinds and resource vectors.
+//!
+//! The paper's resource set `R` is instantiated, as in its evaluation, with
+//! the three kinds of reconfigurable tiles of a Xilinx 7-series fabric:
+//! CLBs, BRAM blocks and DSP slices. [`ResourceVec`] is a small fixed-size
+//! vector indexed by [`ResourceKind`] used for capacities (`maxRes_r`),
+//! requirements (`res_{i,r}`) and region sizes (`res_{s,r}`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Index, IndexMut, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct reconfigurable resource kinds.
+pub const NUM_RESOURCE_KINDS: usize = 3;
+
+/// A kind of reconfigurable resource on the FPGA fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Configurable Logic Block (slice pair).
+    Clb,
+    /// 36 Kb Block RAM.
+    Bram,
+    /// DSP48 slice.
+    Dsp,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in index order.
+    pub const ALL: [ResourceKind; NUM_RESOURCE_KINDS] =
+        [ResourceKind::Clb, ResourceKind::Bram, ResourceKind::Dsp];
+
+    /// Dense index of this kind (`0..NUM_RESOURCE_KINDS`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Clb => 0,
+            ResourceKind::Bram => 1,
+            ResourceKind::Dsp => 2,
+        }
+    }
+
+    /// Inverse of [`ResourceKind::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Option<ResourceKind> {
+        ResourceKind::ALL.get(i).copied()
+    }
+
+    /// Short uppercase name used in reports and Gantt charts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Clb => "CLB",
+            ResourceKind::Bram => "BRAM",
+            ResourceKind::Dsp => "DSP",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A vector of per-kind resource amounts.
+///
+/// Supports saturating arithmetic so that transient over-subtraction during
+/// search never wraps; component-wise comparisons answer the "fits?"
+/// questions the schedulers and the floorplanner ask constantly.
+///
+/// ```
+/// use prfpga_model::ResourceVec;
+///
+/// let demand = ResourceVec::new(300, 4, 8);
+/// let capacity = ResourceVec::new(13_200, 150, 240);
+/// assert!(demand.fits_in(&capacity));
+/// assert_eq!((capacity - demand).get(prfpga_model::ResourceKind::Bram), 146);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceVec(pub [u64; NUM_RESOURCE_KINDS]);
+
+impl ResourceVec {
+    /// The all-zero vector.
+    pub const ZERO: ResourceVec = ResourceVec([0; NUM_RESOURCE_KINDS]);
+
+    /// Builds a vector from explicit CLB / BRAM / DSP amounts.
+    #[inline]
+    pub const fn new(clb: u64, bram: u64, dsp: u64) -> Self {
+        ResourceVec([clb, bram, dsp])
+    }
+
+    /// Amount of resource `r`.
+    #[inline]
+    pub fn get(&self, r: ResourceKind) -> u64 {
+        self.0[r.index()]
+    }
+
+    /// Sets the amount of resource `r`.
+    #[inline]
+    pub fn set(&mut self, r: ResourceKind, v: u64) {
+        self.0[r.index()] = v;
+    }
+
+    /// Sum over all kinds (unweighted).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// True when every component is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+
+    /// Component-wise `self[r] <= other[r]` for all kinds: "does a demand
+    /// of `self` fit in a capacity of `other`?".
+    #[inline]
+    pub fn fits_in(&self, other: &ResourceVec) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = *self;
+        for i in 0..NUM_RESOURCE_KINDS {
+            out.0[i] = out.0[i].max(other.0[i]);
+        }
+        out
+    }
+
+    /// Component-wise saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
+        let mut out = *self;
+        for i in 0..NUM_RESOURCE_KINDS {
+            out.0[i] = out.0[i].saturating_sub(other.0[i]);
+        }
+        out
+    }
+
+    /// Scales every component by an integer factor.
+    #[inline]
+    pub fn scale(&self, k: u64) -> ResourceVec {
+        let mut out = *self;
+        for v in &mut out.0 {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Scales every component by `num/den`, rounding down, keeping at least
+    /// one unit for non-zero components. Used by the feasibility-check
+    /// restart loop that "virtually reduces the available FPGA resources by
+    /// a constant factor" (paper §V-H).
+    pub fn scale_frac_floor(&self, num: u64, den: u64) -> ResourceVec {
+        assert!(den > 0, "zero denominator");
+        let mut out = *self;
+        for v in &mut out.0 {
+            if *v > 0 {
+                *v = ((*v * num) / den).max(1);
+            }
+        }
+        out
+    }
+
+    /// Iterates `(kind, amount)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, u64)> + '_ {
+        ResourceKind::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+
+    /// Weighted dot product against per-kind weights in parts-per-million.
+    ///
+    /// The paper's cost and efficiency metrics (eq. 3 and 5) weight each
+    /// resource kind by a real-valued scarcity factor; to stay integral and
+    /// reproducible we carry weights as ppm (`weight * 1_000_000`).
+    #[inline]
+    pub fn weighted_ppm(&self, weights_ppm: &[u64; NUM_RESOURCE_KINDS]) -> u128 {
+        self.0
+            .iter()
+            .zip(weights_ppm.iter())
+            .map(|(&v, &w)| v as u128 * w as u128)
+            .sum()
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    #[inline]
+    fn add(mut self, rhs: ResourceVec) -> ResourceVec {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ResourceVec {
+    #[inline]
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        for i in 0..NUM_RESOURCE_KINDS {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl Sub for ResourceVec {
+    type Output = ResourceVec;
+    #[inline]
+    fn sub(mut self, rhs: ResourceVec) -> ResourceVec {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for ResourceVec {
+    #[inline]
+    fn sub_assign(&mut self, rhs: ResourceVec) {
+        for i in 0..NUM_RESOURCE_KINDS {
+            debug_assert!(self.0[i] >= rhs.0[i], "resource underflow");
+            self.0[i] = self.0[i].saturating_sub(rhs.0[i]);
+        }
+    }
+}
+
+impl Sum for ResourceVec {
+    fn sum<I: Iterator<Item = ResourceVec>>(iter: I) -> ResourceVec {
+        iter.fold(ResourceVec::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl Index<ResourceKind> for ResourceVec {
+    type Output = u64;
+    #[inline]
+    fn index(&self, r: ResourceKind) -> &u64 {
+        &self.0[r.index()]
+    }
+}
+
+impl IndexMut<ResourceKind> for ResourceVec {
+    #[inline]
+    fn index_mut(&mut self, r: ResourceKind) -> &mut u64 {
+        &mut self.0[r.index()]
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{CLB: {}, BRAM: {}, DSP: {}}}",
+            self.0[0], self.0[1], self.0[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_roundtrip() {
+        for r in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_index(r.index()), Some(r));
+        }
+        assert_eq!(ResourceKind::from_index(NUM_RESOURCE_KINDS), None);
+    }
+
+    #[test]
+    fn fits_in_is_componentwise() {
+        let small = ResourceVec::new(10, 2, 1);
+        let big = ResourceVec::new(100, 2, 4);
+        assert!(small.fits_in(&big));
+        assert!(!big.fits_in(&small));
+        // Equal on one axis still fits.
+        assert!(small.fits_in(&small));
+        // Exceeding a single axis fails.
+        let spiky = ResourceVec::new(1, 3, 0);
+        assert!(!spiky.fits_in(&big));
+        assert!(!ResourceVec::new(101, 0, 0).fits_in(&big));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVec::new(5, 3, 1);
+        let b = ResourceVec::new(2, 3, 0);
+        assert_eq!(a + b, ResourceVec::new(7, 6, 1));
+        assert_eq!(a - b, ResourceVec::new(3, 0, 1));
+        assert_eq!(a.saturating_sub(&ResourceVec::new(10, 10, 10)), ResourceVec::ZERO);
+        assert_eq!(a.scale(3), ResourceVec::new(15, 9, 3));
+        assert_eq!(a.max(&b), ResourceVec::new(5, 3, 1));
+        let s: ResourceVec = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+    }
+
+    #[test]
+    fn scale_frac_floor_keeps_nonzero() {
+        let v = ResourceVec::new(100, 1, 0);
+        let s = v.scale_frac_floor(9, 10);
+        assert_eq!(s, ResourceVec::new(90, 1, 0), "non-zero axes stay >= 1, zero stays 0");
+        let tiny = ResourceVec::new(1, 1, 1).scale_frac_floor(1, 100);
+        assert_eq!(tiny, ResourceVec::new(1, 1, 1));
+    }
+
+    #[test]
+    fn weighted_dot() {
+        let v = ResourceVec::new(2, 3, 4);
+        let w = [1_000_000u64, 0, 500_000];
+        assert_eq!(v.weighted_ppm(&w), 2_000_000 + 2_000_000);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ResourceVec::new(1, 2, 3).to_string(), "{CLB: 1, BRAM: 2, DSP: 3}");
+        assert_eq!(ResourceKind::Bram.to_string(), "BRAM");
+    }
+}

@@ -1,0 +1,243 @@
+//! Schedule output artifacts.
+//!
+//! Per §III the scheduler emits (1) the set of reconfigurable regions with
+//! their resource requirements, (2) a mapping of every task to an
+//! implementation and a core / region, (3) a time slot per task, and (4) the
+//! reconfiguration tasks with their time slots. [`Schedule`] bundles all
+//! four; `prfpga-sim` provides the independent validator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::implementation::ImplId;
+use crate::resources::ResourceVec;
+use crate::taskgraph::TaskId;
+use crate::time::Time;
+
+/// Index of a reconfigurable region within a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reconfigurable region: a slot of fabric large enough for every
+/// implementation ever loaded into it (`res_{s,r}`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Per-kind resource budget of the region.
+    pub res: ResourceVec,
+}
+
+/// Where a task executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// On processor core `p` (index into `0..num_processors`).
+    Core(usize),
+    /// In a reconfigurable region as a hardware accelerator.
+    Region(RegionId),
+}
+
+impl Placement {
+    /// True when two placements share an executor (same core or same
+    /// region), in which case communication between them is free under the
+    /// communication-cost extension.
+    #[inline]
+    pub fn colocated(self, other: Placement) -> bool {
+        self == other
+    }
+}
+
+/// The scheduling decision for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Chosen implementation.
+    pub impl_id: ImplId,
+    /// Chosen core or region.
+    pub placement: Placement,
+    /// Start tick.
+    pub start: Time,
+    /// End tick (`start + time_i`).
+    pub end: Time,
+}
+
+impl TaskAssignment {
+    /// Duration of the slot.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// A reconfiguration task on the (single) reconfiguration controller: loads
+/// the partial bitstream of `loads_impl` into `region` so that
+/// `outgoing_task` can run there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reconfiguration {
+    /// Target region.
+    pub region: RegionId,
+    /// Implementation whose bitstream is loaded.
+    pub loads_impl: ImplId,
+    /// The task that will execute after this reconfiguration (the paper's
+    /// *outgoing* task).
+    pub outgoing_task: TaskId,
+    /// Start tick on the reconfiguration controller.
+    pub start: Time,
+    /// End tick (`start + reconf_s`).
+    pub end: Time,
+}
+
+impl Reconfiguration {
+    /// Duration of the reconfiguration.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// A complete schedule for a [`ProblemInstance`](crate::ProblemInstance).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Reconfigurable regions, indexed by [`RegionId`].
+    pub regions: Vec<Region>,
+    /// Per-task decisions, indexed by [`TaskId`]. Must have exactly one
+    /// entry per task of the instance.
+    pub assignments: Vec<TaskAssignment>,
+    /// Reconfiguration tasks, in no particular order.
+    pub reconfigurations: Vec<Reconfiguration>,
+}
+
+impl Schedule {
+    /// Overall application execution time: the latest end tick over tasks
+    /// and reconfigurations (a trailing reconfiguration cannot exist in a
+    /// valid schedule, but we take the max defensively).
+    pub fn makespan(&self) -> Time {
+        let t = self.assignments.iter().map(|a| a.end).max().unwrap_or(0);
+        let r = self.reconfigurations.iter().map(|r| r.end).max().unwrap_or(0);
+        t.max(r)
+    }
+
+    /// Assignment of one task.
+    #[inline]
+    pub fn assignment(&self, t: TaskId) -> &TaskAssignment {
+        &self.assignments[t.index()]
+    }
+
+    /// Tasks placed in region `s`, sorted by start tick.
+    pub fn tasks_in_region(&self, s: RegionId) -> Vec<TaskId> {
+        let mut out: Vec<TaskId> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.placement == Placement::Region(s))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        out.sort_by_key(|t| self.assignments[t.index()].start);
+        out
+    }
+
+    /// Tasks placed on core `p`, sorted by start tick.
+    pub fn tasks_on_core(&self, p: usize) -> Vec<TaskId> {
+        let mut out: Vec<TaskId> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.placement == Placement::Core(p))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        out.sort_by_key(|t| self.assignments[t.index()].start);
+        out
+    }
+
+    /// Total fabric resources claimed by all regions together; must fit in
+    /// the device capacity.
+    pub fn total_region_resources(&self) -> ResourceVec {
+        self.regions.iter().map(|r| r.res).sum()
+    }
+
+    /// Number of hardware tasks (tasks placed in a region).
+    pub fn hardware_task_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| matches!(a.placement, Placement::Region(_)))
+            .count()
+    }
+
+    /// Total time the reconfiguration controller is busy.
+    pub fn total_reconfiguration_time(&self) -> Time {
+        self.reconfigurations.iter().map(|r| r.duration()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Schedule {
+        Schedule {
+            regions: vec![
+                Region {
+                    res: ResourceVec::new(10, 1, 0),
+                },
+                Region {
+                    res: ResourceVec::new(4, 0, 2),
+                },
+            ],
+            assignments: vec![
+                TaskAssignment {
+                    impl_id: ImplId(0),
+                    placement: Placement::Region(RegionId(0)),
+                    start: 0,
+                    end: 10,
+                },
+                TaskAssignment {
+                    impl_id: ImplId(1),
+                    placement: Placement::Core(0),
+                    start: 5,
+                    end: 25,
+                },
+                TaskAssignment {
+                    impl_id: ImplId(2),
+                    placement: Placement::Region(RegionId(0)),
+                    start: 30,
+                    end: 42,
+                },
+            ],
+            reconfigurations: vec![Reconfiguration {
+                region: RegionId(0),
+                loads_impl: ImplId(2),
+                outgoing_task: TaskId(2),
+                start: 12,
+                end: 29,
+            }],
+        }
+    }
+
+    #[test]
+    fn makespan_covers_tasks_and_reconfigs() {
+        let s = sched();
+        assert_eq!(s.makespan(), 42);
+        assert_eq!(Schedule::default().makespan(), 0);
+    }
+
+    #[test]
+    fn region_and_core_queries_sorted() {
+        let s = sched();
+        assert_eq!(s.tasks_in_region(RegionId(0)), vec![TaskId(0), TaskId(2)]);
+        assert_eq!(s.tasks_in_region(RegionId(1)), Vec::<TaskId>::new());
+        assert_eq!(s.tasks_on_core(0), vec![TaskId(1)]);
+        assert_eq!(s.hardware_task_count(), 2);
+    }
+
+    #[test]
+    fn totals() {
+        let s = sched();
+        assert_eq!(s.total_region_resources(), ResourceVec::new(14, 1, 2));
+        assert_eq!(s.total_reconfiguration_time(), 17);
+        assert_eq!(s.assignment(TaskId(1)).duration(), 20);
+    }
+}

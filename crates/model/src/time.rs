@@ -1,0 +1,113 @@
+//! Integral time representation.
+//!
+//! The whole workspace measures time in *ticks*; one tick is interpreted as
+//! one microsecond when instances are derived from real devices, but nothing
+//! in the algorithms depends on the physical interpretation. Integral ticks
+//! make every scheduler bit-for-bit reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) schedule time, in ticks.
+pub type Time = u64;
+
+/// An inclusive-start, exclusive-end execution window `[min, max)` produced
+/// by the Critical Path Method.
+///
+/// `min` is the earliest tick at which the activity may start; `max` is the
+/// latest tick by which it must have *completed* to avoid delaying the
+/// schedule (the paper's `[T_MIN, T_MAX]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Earliest start tick (`T_MIN`).
+    pub min: Time,
+    /// Latest completion tick (`T_MAX`).
+    pub max: Time,
+}
+
+impl TimeWindow {
+    /// Creates a window; panics in debug builds if `min > max`.
+    #[inline]
+    pub fn new(min: Time, max: Time) -> Self {
+        debug_assert!(min <= max, "inverted time window [{min}, {max}]");
+        Self { min, max }
+    }
+
+    /// Window length (`max - min`), saturating at zero for inverted windows
+    /// that can transiently appear while delays propagate.
+    #[inline]
+    pub fn span(&self) -> Time {
+        self.max.saturating_sub(self.min)
+    }
+
+    /// Slack available to an activity of duration `exe` inside this window.
+    #[inline]
+    pub fn slack(&self, exe: Time) -> Time {
+        self.span().saturating_sub(exe)
+    }
+
+    /// True when an activity of duration `exe` fits in the window.
+    #[inline]
+    pub fn fits(&self, exe: Time) -> bool {
+        self.span() >= exe
+    }
+
+    /// True when two windows share at least one tick.
+    ///
+    /// Windows are treated as half-open intervals `[min, max)`, so windows
+    /// that merely touch (`a.max == b.min`) do **not** overlap: a task may
+    /// start exactly when its predecessor in the same region finishes being
+    /// reconfigured.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.min < other.max && other.min < self.max
+    }
+
+    /// True when `t` lies inside the half-open window.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.min <= t && t < self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_slack() {
+        let w = TimeWindow::new(10, 30);
+        assert_eq!(w.span(), 20);
+        assert_eq!(w.slack(15), 5);
+        assert_eq!(w.slack(25), 0);
+        assert!(w.fits(20));
+        assert!(!w.fits(21));
+    }
+
+    #[test]
+    fn overlap_is_half_open() {
+        let a = TimeWindow::new(0, 10);
+        let b = TimeWindow::new(10, 20);
+        let c = TimeWindow::new(9, 11);
+        assert!(!a.overlaps(&b), "touching windows must not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = TimeWindow::new(5, 8);
+        assert!(!w.contains(4));
+        assert!(w.contains(5));
+        assert!(w.contains(7));
+        assert!(!w.contains(8));
+    }
+
+    #[test]
+    fn zero_length_window() {
+        let w = TimeWindow::new(7, 7);
+        assert_eq!(w.span(), 0);
+        assert!(w.fits(0));
+        assert!(!w.fits(1));
+    }
+}

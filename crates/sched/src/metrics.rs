@@ -1,0 +1,193 @@
+//! The paper's cost and efficiency metrics (eq. 3–5) in exact integer
+//! arithmetic.
+//!
+//! All real-valued quantities are carried as parts-per-million (ppm) in
+//! `u128`, so comparisons are platform-independent and reproducible.
+
+use prfpga_model::{ResourceVec, Time, NUM_RESOURCE_KINDS};
+
+use crate::config::CostPolicy;
+
+/// Precomputed device-level weights for the metrics.
+#[derive(Debug, Clone)]
+pub struct MetricWeights {
+    /// `weightRes_r` in ppm (eq. 4): resources scarcer on the device weigh
+    /// more.
+    pub weight_ppm: [u64; NUM_RESOURCE_KINDS],
+    /// Denominator of eq. 3's resource term:
+    /// `sum_r weightRes_r * maxRes_r`, in ppm-weighted units.
+    pub cap_weighted: u128,
+    /// `maxT` (eq. 4): serial lower-bound horizon, the sum over tasks of
+    /// their fastest implementation time.
+    pub max_t: Time,
+}
+
+impl MetricWeights {
+    /// Computes the weights for a device capacity and the instance's
+    /// `maxT` horizon.
+    pub fn new(max_res: &ResourceVec, max_t: Time) -> Self {
+        let total: u64 = max_res.total();
+        let mut weight_ppm = [0u64; NUM_RESOURCE_KINDS];
+        for (i, w) in weight_ppm.iter_mut().enumerate() {
+            *w = if total == 0 {
+                1_000_000
+            } else {
+                let share = (max_res.0[i] as u128 * 1_000_000 / total as u128) as u64;
+                1_000_000 - share
+            };
+        }
+        let mut cap_weighted = max_res.weighted_ppm(&weight_ppm);
+        // Degenerate device: eq. 4 zeroes the weight of a resource kind
+        // that holds *all* capacity, so a single-kind device would weigh
+        // every demand at zero. Fall back to uniform weights there.
+        if cap_weighted == 0 && total > 0 {
+            weight_ppm = [1_000_000; NUM_RESOURCE_KINDS];
+            cap_weighted = max_res.weighted_ppm(&weight_ppm);
+        }
+        MetricWeights {
+            weight_ppm,
+            cap_weighted,
+            max_t,
+        }
+    }
+
+    /// Implementation cost (eq. 3), scaled by 1e6. Lower is better.
+    ///
+    /// `cost_i = weighted(res_i)/weighted(maxRes) + time_i/maxT`, where the
+    /// active terms follow the ablation policy.
+    // The zero-divisor branches return sentinels, not `None`, so
+    // `checked_div` would not simplify them.
+    #[allow(clippy::manual_checked_ops)]
+    pub fn cost_micro(&self, res: &ResourceVec, time: Time, policy: CostPolicy) -> u128 {
+        let res_term = if self.cap_weighted == 0 {
+            // Zero-capacity device: any hardware demand is infinitely
+            // costly; zero demand costs nothing.
+            if res.is_zero() {
+                0
+            } else {
+                u128::MAX / 4
+            }
+        } else {
+            res.weighted_ppm(&self.weight_ppm) * 1_000_000 / self.cap_weighted
+        };
+        let time_term = if self.max_t == 0 {
+            0
+        } else {
+            time as u128 * 1_000_000 / self.max_t as u128
+        };
+        match policy {
+            CostPolicy::Full => res_term + time_term,
+            CostPolicy::ResourceOnly => res_term,
+            CostPolicy::TimeOnly => time_term,
+        }
+    }
+
+    /// Efficiency index (eq. 5), scaled by 1e6:
+    /// `eff_i = time_i / sum_r(res_{i,r} * weightRes_r)`. Higher means more
+    /// resource-efficient (more execution time bought per unit of weighted
+    /// area). An implementation with zero weighted area is infinitely
+    /// efficient.
+    #[allow(clippy::manual_checked_ops)]
+    pub fn efficiency_micro(&self, res: &ResourceVec, time: Time) -> u128 {
+        let denom = res.weighted_ppm(&self.weight_ppm);
+        if denom == 0 {
+            u128::MAX / 4
+        } else {
+            // time (ticks) * 1e6 * 1e6 ppm / denom keeps precision for
+            // small times against large weighted areas.
+            time as u128 * 1_000_000 * 1_000_000 / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> MetricWeights {
+        // Capacity 1000 CLB, 100 BRAM, 100 DSP -> total 1200.
+        MetricWeights::new(&ResourceVec::new(1000, 100, 100), 10_000)
+    }
+
+    #[test]
+    fn scarce_resources_weigh_more() {
+        let w = weights();
+        // CLB is abundant (1000/1200) -> low weight; BRAM/DSP scarce.
+        assert!(w.weight_ppm[0] < w.weight_ppm[1]);
+        assert_eq!(w.weight_ppm[1], w.weight_ppm[2]);
+        // weightRes_r = 1 - maxRes_r / total.
+        assert_eq!(w.weight_ppm[0], 1_000_000 - 1000 * 1_000_000 / 1200);
+    }
+
+    #[test]
+    fn cost_orders_by_area_at_equal_time() {
+        let w = weights();
+        let small = w.cost_micro(&ResourceVec::new(10, 1, 1), 100, CostPolicy::Full);
+        let large = w.cost_micro(&ResourceVec::new(500, 50, 50), 100, CostPolicy::Full);
+        assert!(small < large);
+    }
+
+    #[test]
+    fn cost_orders_by_time_at_equal_area() {
+        let w = weights();
+        let fast = w.cost_micro(&ResourceVec::new(100, 10, 10), 100, CostPolicy::Full);
+        let slow = w.cost_micro(&ResourceVec::new(100, 10, 10), 5000, CostPolicy::Full);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn cost_policies_drop_terms() {
+        let w = weights();
+        let res = ResourceVec::new(100, 10, 10);
+        let full = w.cost_micro(&res, 100, CostPolicy::Full);
+        let r = w.cost_micro(&res, 100, CostPolicy::ResourceOnly);
+        let t = w.cost_micro(&res, 100, CostPolicy::TimeOnly);
+        assert_eq!(full, r + t);
+        // Time-only cost ignores area.
+        assert_eq!(
+            w.cost_micro(&ResourceVec::new(900, 0, 0), 100, CostPolicy::TimeOnly),
+            t
+        );
+    }
+
+    #[test]
+    fn efficiency_prefers_time_per_area() {
+        let w = weights();
+        // Same area, longer time -> more "efficient" in the paper's sense.
+        let slow_small = w.efficiency_micro(&ResourceVec::new(50, 0, 0), 2000);
+        let fast_big = w.efficiency_micro(&ResourceVec::new(800, 20, 20), 500);
+        assert!(slow_small > fast_big);
+    }
+
+    #[test]
+    fn zero_area_is_infinitely_efficient() {
+        let w = weights();
+        assert_eq!(w.efficiency_micro(&ResourceVec::ZERO, 10), u128::MAX / 4);
+    }
+
+    #[test]
+    fn zero_capacity_device_penalizes_hardware() {
+        let w = MetricWeights::new(&ResourceVec::ZERO, 100);
+        assert!(w.cost_micro(&ResourceVec::new(1, 0, 0), 1, CostPolicy::Full) > 1_000_000_000);
+        assert_eq!(w.cost_micro(&ResourceVec::ZERO, 0, CostPolicy::Full), 0);
+    }
+
+    #[test]
+    fn single_kind_device_falls_back_to_uniform_weights() {
+        // All capacity in CLBs: eq. 4 would zero the CLB weight and make
+        // every hardware demand free; the fallback keeps areas comparable.
+        let w = MetricWeights::new(&ResourceVec::new(1000, 0, 0), 1000);
+        let small = w.cost_micro(&ResourceVec::new(100, 0, 0), 100, CostPolicy::ResourceOnly);
+        let large = w.cost_micro(&ResourceVec::new(900, 0, 0), 100, CostPolicy::ResourceOnly);
+        assert!(small < large);
+        assert!(large > 0);
+    }
+
+    #[test]
+    fn zero_horizon_guard() {
+        let w = MetricWeights::new(&ResourceVec::new(10, 10, 10), 0);
+        // No division by zero; time term collapses to 0.
+        let c = w.cost_micro(&ResourceVec::new(1, 1, 1), 100, CostPolicy::TimeOnly);
+        assert_eq!(c, 0);
+    }
+}

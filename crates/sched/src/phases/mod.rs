@@ -1,0 +1,13 @@
+//! The PA pipeline phases (§V-A .. §V-G).
+//!
+//! Each phase is a free function over [`SchedState`]; the driver strings
+//! them together. Keeping the phases separate makes each unit-testable and
+//! lets the ablation benches switch individual phases off.
+//!
+//! [`SchedState`]: crate::state::SchedState
+
+pub mod impl_select;
+pub mod reconf;
+pub mod regions;
+pub mod sw_balance;
+pub mod sw_map;

@@ -1,0 +1,328 @@
+//! The randomized scheduler variant PA-R (§VI, Algorithm 1).
+//!
+//! PA-R relaxes the fixed efficiency-index ordering for *non-critical*
+//! hardware tasks during regions definition: each iteration draws a fresh
+//! random ordering, runs the core pipeline (`doSchedule`), and — only when
+//! the new schedule improves on the incumbent — pays for a floorplan
+//! check. Floorplan-infeasible candidates are simply discarded (no
+//! capacity-shrinking restarts, unlike the deterministic PA). The search
+//! runs until a wall-clock budget or an iteration cap expires, whichever
+//! comes first, and returns the best feasible schedule found.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use prfpga_floorplan::{FloorplanOutcome, Floorplanner};
+use prfpga_model::{ProblemInstance, ResourceVec, Schedule, Time};
+
+use crate::config::{OrderingPolicy, SchedulerConfig};
+use crate::driver::{do_schedule, PaScheduler};
+use crate::error::SchedError;
+
+/// A point on PA-R's anytime-convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergencePoint {
+    /// Iteration (1-based) at which the improvement landed.
+    pub iteration: usize,
+    /// Wall-clock elapsed since the search started.
+    pub elapsed: Duration,
+    /// The improved (floorplan-feasible) makespan.
+    pub makespan: Time,
+}
+
+/// Result of a PA-R run.
+#[derive(Debug, Clone)]
+pub struct PaRResult {
+    /// Best floorplan-feasible schedule found.
+    pub schedule: Schedule,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Every improvement, in order — the data behind the paper's Fig. 6.
+    pub trace: Vec<ConvergencePoint>,
+}
+
+/// The randomized scheduler (*PA-R*).
+#[derive(Debug, Clone, Default)]
+pub struct PaRScheduler {
+    config: SchedulerConfig,
+}
+
+impl PaRScheduler {
+    /// Creates a PA-R scheduler; `config.time_budget`, `config.max_iterations`
+    /// and `config.seed` drive the search.
+    pub fn new(config: SchedulerConfig) -> Self {
+        PaRScheduler { config }
+    }
+
+    /// Schedules `inst`, returning only the best schedule.
+    pub fn schedule(&self, inst: &ProblemInstance) -> Result<Schedule, SchedError> {
+        self.schedule_detailed(inst).map(|r| r.schedule)
+    }
+
+    /// Runs the randomized search (Algorithm 1) with full diagnostics.
+    pub fn schedule_detailed(&self, inst: &ProblemInstance) -> Result<PaRResult, SchedError> {
+        inst.validate()
+            .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
+
+        let planner = Floorplanner::new(self.config.floorplan.clone());
+        // Virtual capacity ratchet: Algorithm 1 discards floorplan-
+        // infeasible candidates outright, but a pipeline run that packs the
+        // fabric to 100% is *systematically* unplaceable on a column grid,
+        // so repeating it at the same capacity would starve the search.
+        // Whenever an improving candidate fails the floorplan, subsequent
+        // iterations schedule against a shrunken virtual capacity — the
+        // same lever the deterministic PA's restart loop uses (§V-H).
+        let mut virtual_device = inst.architecture.device.clone();
+        let mut shrinks_left = self.config.max_attempts.max(1);
+        let start = Instant::now();
+        let deadline = start + self.config.time_budget;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+
+        let mut best: Option<Schedule> = None;
+        let mut best_makespan = Time::MAX;
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+
+        loop {
+            if self.config.max_iterations > 0 && iterations >= self.config.max_iterations {
+                break;
+            }
+            // Always run at least one iteration so a zero budget still
+            // returns a schedule.
+            if iterations > 0 && Instant::now() >= deadline {
+                break;
+            }
+            iterations += 1;
+            let order_seed: u64 = rng.random();
+            let schedule = do_schedule(
+                inst,
+                &virtual_device,
+                &self.config,
+                OrderingPolicy::RandomizedNonCritical(order_seed),
+            );
+            let makespan = schedule.makespan();
+            if makespan < best_makespan {
+                // Pay for the floorplanner only on improvement (Algorithm 1).
+                let demands: Vec<ResourceVec> =
+                    schedule.regions.iter().map(|r| r.res).collect();
+                if let FloorplanOutcome::Feasible(_) =
+                    planner.check_device(&inst.architecture.device, &demands)
+                {
+                    best_makespan = makespan;
+                    best = Some(schedule);
+                    trace.push(ConvergencePoint {
+                        iteration: iterations,
+                        elapsed: start.elapsed(),
+                        makespan,
+                    });
+                } else if shrinks_left > 0 {
+                    let (num, den) = self.config.shrink_factor;
+                    virtual_device = virtual_device.with_scaled_capacity(num, den);
+                    shrinks_left -= 1;
+                }
+            }
+        }
+
+        match best {
+            Some(schedule) => Ok(PaRResult {
+                schedule,
+                iterations,
+                trace,
+            }),
+            // Every random candidate was floorplan-infeasible: fall back to
+            // the deterministic PA, whose shrinking loop always terminates
+            // with a feasible (possibly all-software) schedule.
+            None => {
+                let pa = PaScheduler::new(self.config.clone()).schedule_detailed(inst)?;
+                Ok(PaRResult {
+                    schedule: pa.schedule,
+                    iterations,
+                    trace,
+                })
+            }
+        }
+    }
+
+    /// Parallel PA-R: `threads` workers explore disjoint seed streams and
+    /// share the incumbent under a mutex. The result is deterministic for
+    /// a fixed `(seed, max_iterations, threads)` triple when the iteration
+    /// cap is used (each worker owns an equal slice of the iteration
+    /// budget); under a pure wall-clock budget the outcome depends on
+    /// timing, as in any anytime search.
+    pub fn schedule_parallel(
+        &self,
+        inst: &ProblemInstance,
+        threads: usize,
+    ) -> Result<Schedule, SchedError> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.schedule(inst);
+        }
+        inst.validate()
+            .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
+
+        let best: Mutex<(Time, Option<Schedule>)> = Mutex::new((Time::MAX, None));
+        let deadline = Instant::now() + self.config.time_budget;
+        let per_worker_iters = if self.config.max_iterations > 0 {
+            self.config.max_iterations.div_ceil(threads)
+        } else {
+            0
+        };
+
+        crossbeam::thread::scope(|scope| {
+            for w in 0..threads {
+                let best = &best;
+                let config = &self.config;
+                let planner = Floorplanner::new(self.config.floorplan.clone());
+                let inst = &*inst;
+                scope.spawn(move |_| {
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(w as u64 * 0x9E37));
+                    // Per-worker capacity ratchet (see schedule_detailed).
+                    let mut virtual_device = inst.architecture.device.clone();
+                    let mut shrinks_left = config.max_attempts.max(1);
+                    let mut iters = 0usize;
+                    loop {
+                        if per_worker_iters > 0 && iters >= per_worker_iters {
+                            break;
+                        }
+                        if iters > 0 && Instant::now() >= deadline {
+                            break;
+                        }
+                        iters += 1;
+                        let order_seed: u64 = rng.random();
+                        let schedule = do_schedule(
+                            inst,
+                            &virtual_device,
+                            config,
+                            OrderingPolicy::RandomizedNonCritical(order_seed),
+                        );
+                        let makespan = schedule.makespan();
+                        if makespan < best.lock().0 {
+                            let demands: Vec<ResourceVec> =
+                                schedule.regions.iter().map(|r| r.res).collect();
+                            if let FloorplanOutcome::Feasible(_) =
+                                planner.check_device(&inst.architecture.device, &demands)
+                            {
+                                let mut guard = best.lock();
+                                if makespan < guard.0 {
+                                    *guard = (makespan, Some(schedule));
+                                }
+                            } else if shrinks_left > 0 {
+                                let (num, den) = config.shrink_factor;
+                                virtual_device =
+                                    virtual_device.with_scaled_capacity(num, den);
+                                shrinks_left -= 1;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("PA-R worker panicked");
+
+        let (_, found) = best.into_inner();
+        match found {
+            Some(s) => Ok(s),
+            None => PaScheduler::new(self.config.clone())
+                .schedule_detailed(inst)
+                .map(|r| r.schedule),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_gen::{GraphConfig, TaskGraphGenerator};
+    use prfpga_model::Architecture;
+    use prfpga_sim::validate_schedule;
+
+    fn config_iters(iters: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            max_iterations: iters,
+            time_budget: Duration::from_secs(60),
+            ..Default::default()
+        }
+    }
+
+    fn instance(n: usize, seed: u64) -> ProblemInstance {
+        TaskGraphGenerator::new(seed).generate(
+            &format!("par{n}"),
+            &GraphConfig::standard(n),
+            Architecture::zedboard(),
+        )
+    }
+
+    #[test]
+    fn finds_valid_schedules() {
+        let inst = instance(20, 11);
+        let par = PaRScheduler::new(config_iters(8));
+        let r = par.schedule_detailed(&inst).unwrap();
+        assert_eq!(r.iterations, 8);
+        assert!(!r.trace.is_empty());
+        validate_schedule(&inst, &r.schedule).expect("valid");
+    }
+
+    #[test]
+    fn trace_is_monotonically_improving() {
+        let inst = instance(30, 13);
+        let par = PaRScheduler::new(config_iters(12));
+        let r = par.schedule_detailed(&inst).unwrap();
+        for pair in r.trace.windows(2) {
+            assert!(pair[1].makespan < pair[0].makespan);
+            assert!(pair[1].iteration > pair[0].iteration);
+        }
+        assert_eq!(
+            r.schedule.makespan(),
+            r.trace.last().unwrap().makespan,
+            "returned schedule is the last improvement"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_iterations() {
+        let inst = instance(25, 17);
+        let par = PaRScheduler::new(config_iters(6));
+        let a = par.schedule(&inst).unwrap();
+        let b = par.schedule(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt() {
+        let inst = instance(40, 19);
+        let short = PaRScheduler::new(config_iters(2))
+            .schedule(&inst)
+            .unwrap()
+            .makespan();
+        let long = PaRScheduler::new(config_iters(16))
+            .schedule(&inst)
+            .unwrap()
+            .makespan();
+        assert!(long <= short, "more search cannot worsen the incumbent");
+    }
+
+    #[test]
+    fn parallel_variant_returns_valid_schedules() {
+        let inst = instance(20, 23);
+        let par = PaRScheduler::new(config_iters(8));
+        let s = par.schedule_parallel(&inst, 4).unwrap();
+        validate_schedule(&inst, &s).expect("valid");
+    }
+
+    #[test]
+    fn zero_budget_still_returns_a_schedule() {
+        let inst = instance(15, 29);
+        let cfg = SchedulerConfig {
+            time_budget: Duration::ZERO,
+            max_iterations: 0,
+            ..Default::default()
+        };
+        let s = PaRScheduler::new(cfg).schedule(&inst).unwrap();
+        validate_schedule(&inst, &s).expect("valid");
+    }
+}

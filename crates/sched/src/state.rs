@@ -1,0 +1,309 @@
+//! Mutable scheduler state shared by the pipeline phases.
+
+use prfpga_dag::{CpmAnalysis, Dag};
+use prfpga_model::{
+    Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow,
+};
+
+use crate::error::SchedError;
+use crate::metrics::MetricWeights;
+
+/// A reconfigurable region being built up during regions definition.
+#[derive(Debug, Clone)]
+pub struct RegionBuild {
+    /// Resource budget (`res_{s,r}`); fixed at creation from the first
+    /// hosted implementation.
+    pub res: ResourceVec,
+    /// Hosted tasks, kept sorted by their window start at insertion time.
+    pub tasks: Vec<TaskId>,
+}
+
+/// The evolving state of one `doSchedule` run: implementation choices,
+/// the dependency DAG (data arcs plus sequencing arcs added by the
+/// phases), CPM windows and the region set.
+#[derive(Debug, Clone)]
+pub struct SchedState<'a> {
+    /// The instance being scheduled.
+    pub inst: &'a ProblemInstance,
+    /// Device with possibly shrunk capacity (feasibility restarts).
+    pub device: Device,
+    /// Metric weights for the current device capacity.
+    pub weights: MetricWeights,
+    /// Dependency DAG over the tasks.
+    pub dag: Dag,
+    /// Chosen implementation per task.
+    pub impl_choice: Vec<ImplId>,
+    /// Execution time of the chosen implementation per task.
+    pub durations: Vec<Time>,
+    /// Current CPM analysis (windows + critical set); kept in sync by
+    /// [`SchedState::recompute_windows`].
+    pub cpm: CpmAnalysis,
+    /// Regions defined so far.
+    pub regions: Vec<RegionBuild>,
+    /// Region index per task (`None` = software task).
+    pub region_of: Vec<Option<usize>>,
+    /// Core index per software task, filled by the mapping phase.
+    pub core_of: Vec<Option<usize>>,
+    /// Whether the module-reuse extension is active (affects placement
+    /// tie-breaking and reconfiguration planning).
+    pub module_reuse: bool,
+}
+
+impl<'a> SchedState<'a> {
+    /// Builds the state after implementation selection.
+    pub fn new(
+        inst: &'a ProblemInstance,
+        device: Device,
+        weights: MetricWeights,
+        impl_choice: Vec<ImplId>,
+    ) -> Result<Self, SchedError> {
+        let n = inst.graph.len();
+        assert_eq!(impl_choice.len(), n);
+        let dag = Dag::from_taskgraph(&inst.graph).map_err(|_| SchedError::CyclicTaskGraph)?;
+        let durations: Vec<Time> = impl_choice
+            .iter()
+            .map(|&i| inst.impls.get(i).time)
+            .collect();
+        let cpm = CpmAnalysis::run(&dag, &durations);
+        Ok(SchedState {
+            inst,
+            device,
+            weights,
+            dag,
+            impl_choice,
+            durations,
+            cpm,
+            regions: Vec::new(),
+            region_of: vec![None; n],
+            core_of: vec![None; n],
+            module_reuse: false,
+        })
+    }
+
+    /// Window of a task under the current CPM analysis.
+    #[inline]
+    pub fn window(&self, t: TaskId) -> TimeWindow {
+        self.cpm.windows[t.index()]
+    }
+
+    /// Planned occupancy of a task: `[T_MIN, T_MIN + exe)`. Phase E (§V-E)
+    /// anchors every task at its earliest start, so this is the slot a task
+    /// is expected to hold on its resource; the window-compatibility checks
+    /// of phases C and D compare occupancies (for a critical task the
+    /// occupancy *is* its window, since its slack is zero).
+    #[inline]
+    pub fn occupancy(&self, t: TaskId) -> TimeWindow {
+        let w = self.cpm.windows[t.index()];
+        TimeWindow::new(w.min, w.min + self.durations[t.index()])
+    }
+
+    /// True when the task is on the critical path under the current CPM.
+    #[inline]
+    pub fn is_critical(&self, t: TaskId) -> bool {
+        self.cpm.critical[t.index()]
+    }
+
+    /// True when the chosen implementation of `t` is hardware.
+    #[inline]
+    pub fn is_hw(&self, t: TaskId) -> bool {
+        self.inst.impls.get(self.impl_choice[t.index()]).is_hardware()
+    }
+
+    /// Resources of the chosen implementation of `t` (zero for software).
+    #[inline]
+    pub fn chosen_res(&self, t: TaskId) -> ResourceVec {
+        self.inst.impls.get(self.impl_choice[t.index()]).resources()
+    }
+
+    /// Re-runs CPM after a duration or dependency mutation.
+    pub fn recompute_windows(&mut self) {
+        self.cpm = CpmAnalysis::run(&self.dag, &self.durations);
+    }
+
+    /// Switches `t` to its fastest software implementation and refreshes
+    /// the windows (§V-C fallback rule).
+    pub fn switch_to_sw(&mut self, t: TaskId) {
+        let sw = self.inst.fastest_sw_impl(t);
+        self.impl_choice[t.index()] = sw;
+        self.durations[t.index()] = self.inst.impls.get(sw).time;
+        self.region_of[t.index()] = None;
+        self.recompute_windows();
+    }
+
+    /// Switches `t` to hardware implementation `imp` hosted in region
+    /// `region`, inserting the region sequencing arcs around it, and
+    /// refreshes the windows. The caller must have verified ordering
+    /// consistency (no cycle) beforehand.
+    pub fn assign_to_region(&mut self, t: TaskId, imp: ImplId, region: usize) {
+        debug_assert!(self.inst.impls.get(imp).is_hardware());
+        self.impl_choice[t.index()] = imp;
+        self.durations[t.index()] = self.inst.impls.get(imp).time;
+        self.region_of[t.index()] = Some(region);
+
+        // Keep the region's task list sorted by current window start and
+        // wire sequencing arcs to the immediate neighbours.
+        let w_min = self.window(t).min;
+        let pos = self.insertion_pos(region, w_min);
+        let tasks = &mut self.regions[region].tasks;
+        tasks.insert(pos, t);
+        let prev = pos.checked_sub(1).map(|i| tasks[i]);
+        let next = tasks.get(pos + 1).copied();
+        if let Some(p) = prev {
+            self.dag
+                .add_edge(p.0, t.0)
+                .expect("caller checked ordering consistency (prev)");
+        }
+        if let Some(nx) = next {
+            self.dag
+                .add_edge(t.0, nx.0)
+                .expect("caller checked ordering consistency (next)");
+        }
+        self.recompute_windows();
+    }
+
+    /// Opens a new region sized for `imp` and assigns `t` to it.
+    pub fn open_region(&mut self, t: TaskId, imp: ImplId) {
+        let res = self.inst.impls.get(imp).resources();
+        self.regions.push(RegionBuild {
+            res,
+            tasks: Vec::new(),
+        });
+        let region = self.regions.len() - 1;
+        self.impl_choice[t.index()] = imp;
+        self.durations[t.index()] = self.inst.impls.get(imp).time;
+        self.region_of[t.index()] = Some(region);
+        self.regions[region].tasks.push(t);
+        self.recompute_windows();
+    }
+
+    /// Position at which a task whose window starts at `w_min` would be
+    /// inserted into region `s`'s task sequence: after every hosted task
+    /// whose window starts no later. Eligibility checks and the actual
+    /// insertion share this function so the sequencing arcs always match
+    /// the cycle-safety probe.
+    pub fn insertion_pos(&self, s: usize, w_min: Time) -> usize {
+        self.regions[s]
+            .tasks
+            .iter()
+            .take_while(|&&o| self.cpm.windows[o.index()].min <= w_min)
+            .count()
+    }
+
+    /// Fabric resources already committed to regions.
+    pub fn used_resources(&self) -> ResourceVec {
+        self.regions.iter().map(|r| r.res).sum()
+    }
+
+    /// Estimated reconfiguration time of region `s` (eq. 2 on `res_s`).
+    #[inline]
+    pub fn reconf_time(&self, s: usize) -> Time {
+        self.device.reconf_time(&self.regions[s].res)
+    }
+
+    /// Estimated total reconfiguration time over all regions (eq. 6):
+    /// `sum_s reconf_s * (|T_s| - 1)`.
+    pub fn total_reconf_time(&self) -> Time {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(s, r)| self.reconf_time(s) * (r.tasks.len().saturating_sub(1) as Time))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::{Architecture, ImplPool, Implementation, TaskGraph};
+
+    fn mk_instance() -> ProblemInstance {
+        let mut impls = ImplPool::new();
+        let mut graph = TaskGraph::new();
+        // Three tasks in a chain; each 1 SW (100 ticks) + 1 HW (10 ticks,
+        // 5 CLB).
+        let mut prev = None;
+        for i in 0..3 {
+            let sw = impls.add(Implementation::software(format!("s{i}"), 100));
+            let hw = impls.add(Implementation::hardware(
+                format!("h{i}"),
+                10,
+                ResourceVec::new(5, 0, 0),
+            ));
+            let t = graph.add_task(format!("t{i}"), vec![sw, hw]);
+            if let Some(p) = prev {
+                graph.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        ProblemInstance::new(
+            "st",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(12, 0, 0), 1)),
+            graph,
+            impls,
+        )
+        .unwrap()
+    }
+
+    fn mk_state(inst: &ProblemInstance) -> SchedState<'_> {
+        let device = inst.architecture.device.clone();
+        let weights = MetricWeights::new(&device.max_res, 30);
+        // All HW initially.
+        let choice: Vec<ImplId> = inst
+            .graph
+            .task_ids()
+            .map(|t| inst.hw_impls(t).next().unwrap())
+            .collect();
+        SchedState::new(inst, device, weights, choice).unwrap()
+    }
+
+    #[test]
+    fn initial_windows_follow_chain() {
+        let inst = mk_instance();
+        let st = mk_state(&inst);
+        assert_eq!(st.cpm.makespan, 30);
+        assert!(st.is_critical(TaskId(1)));
+        assert!(st.is_hw(TaskId(0)));
+    }
+
+    #[test]
+    fn switch_to_sw_updates_windows() {
+        let inst = mk_instance();
+        let mut st = mk_state(&inst);
+        st.switch_to_sw(TaskId(1));
+        assert_eq!(st.durations[1], 100);
+        assert_eq!(st.cpm.makespan, 120);
+        assert!(!st.is_hw(TaskId(1)));
+        assert_eq!(st.region_of[1], None);
+    }
+
+    #[test]
+    fn open_and_assign_regions() {
+        let inst = mk_instance();
+        let mut st = mk_state(&inst);
+        let hw0 = st.impl_choice[0];
+        let hw1 = st.impl_choice[1];
+        st.open_region(TaskId(0), hw0);
+        assert_eq!(st.regions.len(), 1);
+        assert_eq!(st.used_resources(), ResourceVec::new(5, 0, 0));
+        // Put task 1 in the same region: sequencing edge 0 -> 1 already a
+        // data edge, no cycle.
+        st.assign_to_region(TaskId(1), hw1, 0);
+        assert_eq!(st.regions[0].tasks, vec![TaskId(0), TaskId(1)]);
+        assert_eq!(st.region_of[1], Some(0));
+        // Reconfiguration: 5 CLB * 1 bit / 1 bit-per-tick.
+        assert_eq!(st.reconf_time(0), 5);
+        assert_eq!(st.total_reconf_time(), 5);
+    }
+
+    #[test]
+    fn region_tasks_stay_sorted_by_window() {
+        let inst = mk_instance();
+        let mut st = mk_state(&inst);
+        let hw2 = st.impl_choice[2];
+        let hw0 = st.impl_choice[0];
+        st.open_region(TaskId(2), hw2);
+        // Task 0 precedes task 2 in time; inserting it must land first.
+        st.assign_to_region(TaskId(0), hw0, 0);
+        assert_eq!(st.regions[0].tasks, vec![TaskId(0), TaskId(2)]);
+    }
+}

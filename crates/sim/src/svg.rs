@@ -1,0 +1,207 @@
+//! SVG Gantt export.
+//!
+//! Produces a self-contained SVG document with one lane per processor
+//! core, one per reconfigurable region and one for the reconfiguration
+//! controller. Tasks are colored by placement kind, reconfigurations are
+//! hatched. No external assets; viewable in any browser.
+
+use std::fmt::Write as _;
+
+use prfpga_model::{ProblemInstance, RegionId, Schedule, Time};
+
+const LANE_H: u64 = 26;
+const LANE_GAP: u64 = 6;
+const LABEL_W: u64 = 90;
+const CHART_W: u64 = 960;
+const TOP: u64 = 30;
+
+/// Renders the schedule as an SVG document.
+pub fn render_svg(instance: &ProblemInstance, schedule: &Schedule) -> String {
+    let makespan = schedule.makespan().max(1);
+    let lanes = instance.architecture.num_processors + schedule.regions.len() + 1;
+    let height = TOP + lanes as u64 * (LANE_H + LANE_GAP) + 30;
+    let width = LABEL_W + CHART_W + 20;
+
+    let x = |t: Time| -> u64 { LABEL_W + t * CHART_W / makespan };
+    let lane_y = |lane: usize| -> u64 { TOP + lane as u64 * (LANE_H + LANE_GAP) };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="11">"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="{LABEL_W}" y="16">schedule "{}" — makespan {} ticks</text>"#,
+        xml_escape(&instance.name),
+        schedule.makespan()
+    );
+
+    let mut lane = 0usize;
+
+    // Core lanes.
+    for p in 0..instance.architecture.num_processors {
+        let y = lane_y(lane);
+        let _ = writeln!(s, r#"<text x="4" y="{}">core {p}</text>"#, y + 17);
+        lane_background(&mut s, y);
+        for t in schedule.tasks_on_core(p) {
+            let a = schedule.assignment(t);
+            bar(
+                &mut s,
+                x(a.start),
+                y,
+                (x(a.end) - x(a.start)).max(1),
+                "#4e79a7",
+                &instance.graph.task(t).name,
+            );
+        }
+        lane += 1;
+    }
+
+    // Region lanes.
+    for ri in 0..schedule.regions.len() {
+        let rid = RegionId(ri as u32);
+        let y = lane_y(lane);
+        let _ = writeln!(s, r#"<text x="4" y="{}">region {ri}</text>"#, y + 17);
+        lane_background(&mut s, y);
+        for t in schedule.tasks_in_region(rid) {
+            let a = schedule.assignment(t);
+            bar(
+                &mut s,
+                x(a.start),
+                y,
+                (x(a.end) - x(a.start)).max(1),
+                "#59a14f",
+                &instance.graph.task(t).name,
+            );
+        }
+        for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
+            bar(
+                &mut s,
+                x(r.start),
+                y,
+                (x(r.end) - x(r.start)).max(1),
+                "#e15759",
+                "reconf",
+            );
+        }
+        lane += 1;
+    }
+
+    // Controller lane.
+    let y = lane_y(lane);
+    let _ = writeln!(s, r#"<text x="4" y="{}">icap</text>"#, y + 17);
+    lane_background(&mut s, y);
+    for r in &schedule.reconfigurations {
+        bar(
+            &mut s,
+            x(r.start),
+            y,
+            (x(r.end) - x(r.start)).max(1),
+            "#e15759",
+            &format!("load r{}", r.region.0),
+        );
+    }
+
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+fn lane_background(s: &mut String, y: u64) {
+    let _ = writeln!(
+        s,
+        r##"<rect x="{LABEL_W}" y="{y}" width="{CHART_W}" height="{LANE_H}" fill="#f0f0f0"/>"##
+    );
+}
+
+fn bar(s: &mut String, x: u64, y: u64, w: u64, fill: &str, title: &str) {
+    let _ = writeln!(
+        s,
+        r#"<rect x="{x}" y="{}" width="{w}" height="{}" fill="{fill}" stroke="white"><title>{}</title></rect>"#,
+        y + 2,
+        LANE_H - 4,
+        xml_escape(title)
+    );
+}
+
+fn xml_escape(raw: &str) -> String {
+    raw.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prfpga_model::{
+        Architecture, Device, ImplPool, Implementation, Placement, Region, ResourceVec,
+        TaskAssignment, TaskGraph,
+    };
+
+    fn fixture() -> (ProblemInstance, Schedule) {
+        let mut impls = ImplPool::new();
+        let sw = impls.add(Implementation::software("sw", 30));
+        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let mut g = TaskGraph::new();
+        g.add_task("alpha", vec![sw, hw]);
+        g.add_task("beta<&>", vec![sw]);
+        let inst = ProblemInstance::new(
+            "svg",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(10, 0, 0), 1)),
+            g,
+            impls,
+        )
+        .unwrap();
+        let sched = Schedule {
+            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            assignments: vec![
+                TaskAssignment {
+                    impl_id: hw,
+                    placement: Placement::Region(RegionId(0)),
+                    start: 0,
+                    end: 10,
+                },
+                TaskAssignment {
+                    impl_id: sw,
+                    placement: Placement::Core(0),
+                    start: 0,
+                    end: 30,
+                },
+            ],
+            reconfigurations: vec![],
+        };
+        (inst, sched)
+    }
+
+    #[test]
+    fn emits_well_formed_svg() {
+        let (inst, sched) = fixture();
+        let svg = render_svg(&inst, &sched);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("core 0"));
+        assert!(svg.contains("region 0"));
+        assert!(svg.contains("icap"));
+        // Task names escaped.
+        assert!(svg.contains("beta&lt;&amp;&gt;"));
+        assert!(!svg.contains("beta<&>"));
+        // One rect per task + backgrounds.
+        assert!(svg.matches("<rect").count() >= 5);
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let mut impls = ImplPool::new();
+        let _ = impls.add(Implementation::software("x", 1));
+        let inst = ProblemInstance::new(
+            "empty",
+            Architecture::new(1, Device::tiny_test(ResourceVec::new(1, 0, 0), 1)),
+            TaskGraph::new(),
+            ImplPool::new(),
+        )
+        .unwrap();
+        let svg = render_svg(&inst, &Schedule::default());
+        assert!(svg.contains("makespan 0"));
+    }
+}

@@ -1,0 +1,135 @@
+//! A realistic embedded-vision pipeline on a ZedBoard.
+//!
+//! The motivating workload class of the paper: a frame-processing DAG
+//! (demosaic → denoise → {edge extraction, optical flow} → fusion →
+//! encode) where each stage has HLS-generated hardware variants at
+//! several unroll factors plus an ARM software fallback. The example
+//! schedules the pipeline with PA, PA-R, IS-1 and the HEFT baseline and
+//! prints the resulting quality/runtime trade-off.
+//!
+//! Run with: `cargo run --release --example video_pipeline`
+
+use std::time::{Duration, Instant};
+
+use prfpga::prelude::*;
+use prfpga::sim::{render_gantt, schedule_stats};
+
+/// Adds one pipeline stage: software time in µs plus three hardware
+/// variants along an unroll trade-off.
+#[allow(clippy::too_many_arguments)]
+fn stage(
+    impls: &mut ImplPool,
+    graph: &mut TaskGraph,
+    name: &str,
+    sw_us: Time,
+    hw_us: Time,
+    clb: u64,
+    bram: u64,
+    dsp: u64,
+) -> TaskId {
+    let sw = impls.add(Implementation::software(format!("{name}_arm"), sw_us));
+    // Unroll x4: fastest, biggest. Unroll x2 and x1 scale time up, area down.
+    let u4 = impls.add(Implementation::hardware(
+        format!("{name}_u4"),
+        hw_us,
+        ResourceVec::new(clb * 2, bram * 2, dsp * 2),
+    ));
+    let u2 = impls.add(Implementation::hardware(
+        format!("{name}_u2"),
+        hw_us * 16 / 10,
+        ResourceVec::new(clb, bram, dsp),
+    ));
+    let u1 = impls.add(Implementation::hardware(
+        format!("{name}_u1"),
+        hw_us * 26 / 10,
+        ResourceVec::new(clb / 2 + 1, bram / 2 + 1, dsp / 2 + 1),
+    ));
+    graph.add_task(name, vec![sw, u4, u2, u1])
+}
+
+fn main() {
+    let mut impls = ImplPool::new();
+    let mut graph = TaskGraph::new();
+
+    // Stage timings loosely modeled on 1080p kernels (µs per frame).
+    let demosaic = stage(&mut impls, &mut graph, "demosaic", 18_000, 2_400, 900, 12, 8);
+    let denoise = stage(&mut impls, &mut graph, "denoise", 22_000, 3_000, 1_200, 18, 24);
+    let edges = stage(&mut impls, &mut graph, "edges", 15_000, 2_000, 800, 8, 16);
+    let flow = stage(&mut impls, &mut graph, "optical_flow", 35_000, 4_500, 1_600, 24, 48);
+    let fusion = stage(&mut impls, &mut graph, "fusion", 12_000, 1_800, 700, 10, 12);
+    let encode = stage(&mut impls, &mut graph, "encode", 28_000, 3_600, 1_400, 30, 20);
+    // A couple of CPU-ish control stages without hardware variants.
+    let stats = graph.add_task(
+        "frame_stats",
+        vec![impls.add(Implementation::software("frame_stats_arm", 1_500))],
+    );
+    let telemetry = graph.add_task(
+        "telemetry",
+        vec![impls.add(Implementation::software("telemetry_arm", 900))],
+    );
+
+    graph.add_edge(demosaic, denoise);
+    graph.add_edge(denoise, edges);
+    graph.add_edge(denoise, flow);
+    graph.add_edge(edges, fusion);
+    graph.add_edge(flow, fusion);
+    graph.add_edge(fusion, encode);
+    graph.add_edge(denoise, stats);
+    graph.add_edge(stats, telemetry);
+    graph.add_edge(telemetry, encode);
+
+    let instance = ProblemInstance::new("video_pipeline", Architecture::zedboard(), graph, impls)
+        .expect("well-formed instance");
+
+    println!(
+        "pipeline: {} stages, {} dependencies, on a {} + {} cores\n",
+        instance.graph.len(),
+        instance.graph.edges.len(),
+        instance.architecture.device.name,
+        instance.architecture.num_processors
+    );
+
+    let mut best: Option<(String, Schedule)> = None;
+    let mut record = |name: &str, schedule: Schedule, elapsed: Duration| {
+        validate_schedule(&instance, &schedule).expect("valid schedule");
+        let st = schedule_stats(&instance, &schedule);
+        println!(
+            "{name:8} makespan {:>7} us | {} regions, {} reconfigs, controller busy {:>5} us | solved in {:>9.3} ms",
+            st.makespan,
+            st.num_regions,
+            st.num_reconfigurations,
+            st.reconf_busy,
+            elapsed.as_secs_f64() * 1e3,
+        );
+        if best.as_ref().is_none_or(|(_, b)| schedule.makespan() < b.makespan()) {
+            best = Some((name.to_string(), schedule));
+        }
+    };
+
+    let t = Instant::now();
+    let pa = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&instance)
+        .unwrap();
+    record("PA", pa, t.elapsed());
+
+    let t = Instant::now();
+    let par = PaRScheduler::new(SchedulerConfig {
+        time_budget: Duration::from_millis(300),
+        ..Default::default()
+    })
+    .schedule(&instance)
+    .unwrap();
+    record("PA-R", par, t.elapsed());
+
+    let t = Instant::now();
+    let is1 = IsKScheduler::with_k(1).schedule(&instance).unwrap();
+    record("IS-1", is1, t.elapsed());
+
+    let t = Instant::now();
+    let heft = HeftScheduler::new().schedule(&instance).unwrap();
+    record("HEFT", heft, t.elapsed());
+
+    let (name, schedule) = best.expect("at least one schedule");
+    println!("\nbest schedule ({name}):\n");
+    println!("{}", render_gantt(&instance, &schedule, 100));
+}

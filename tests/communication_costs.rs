@@ -1,0 +1,191 @@
+//! Integration tests of the communication-cost extension (§VIII future
+//! work): per-edge costs are charged exactly when producer and consumer
+//! are not co-located, every scheduler respects them, and the independent
+//! validator enforces them.
+
+use prfpga::gen::{GraphConfig, TaskGraphGenerator};
+use prfpga::model::Device;
+use prfpga::prelude::*;
+use prfpga::sim::execute_asap;
+
+/// Chain a -> b with a 100-tick edge. Both tasks are software on a
+/// single-core machine, so they are co-located and the cost vanishes.
+#[test]
+fn colocated_software_chain_pays_no_communication() {
+    let mut impls = ImplPool::new();
+    let a_sw = impls.add(Implementation::software("a", 50));
+    let b_sw = impls.add(Implementation::software("b", 70));
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", vec![a_sw]);
+    let b = g.add_task("b", vec![b_sw]);
+    g.add_edge_with_cost(a, b, 100);
+    let inst = ProblemInstance::new(
+        "coloc",
+        Architecture::new(1, Device::tiny_test(ResourceVec::new(4, 0, 0), 1)),
+        g,
+        impls,
+    )
+    .unwrap();
+    let s = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst)
+        .unwrap();
+    validate_schedule(&inst, &s).unwrap();
+    assert_eq!(s.makespan(), 120, "same core: no communication penalty");
+}
+
+/// Chain a (hardware) -> b (software): placements differ, so the full
+/// edge cost separates them.
+#[test]
+fn cross_boundary_edge_pays_communication() {
+    let mut impls = ImplPool::new();
+    let a_sw = impls.add(Implementation::software("a_sw", 500));
+    let a_hw = impls.add(Implementation::hardware("a_hw", 50, ResourceVec::new(4, 0, 0)));
+    let b_sw = impls.add(Implementation::software("b", 70));
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", vec![a_sw, a_hw]);
+    let b = g.add_task("b", vec![b_sw]);
+    g.add_edge_with_cost(a, b, 100);
+    let inst = ProblemInstance::new(
+        "cross",
+        Architecture::new(1, Device::tiny_test(ResourceVec::new(4, 0, 0), 1)),
+        g,
+        impls,
+    )
+    .unwrap();
+    let s = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst)
+        .unwrap();
+    validate_schedule(&inst, &s).unwrap();
+    // a runs in hardware [0,50); b waits out the 100-tick transfer.
+    assert_eq!(s.assignment(TaskId(0)).end, 50);
+    assert!(matches!(s.assignment(TaskId(0)).placement, Placement::Region(_)));
+    assert_eq!(s.assignment(TaskId(1)).start, 150);
+    assert_eq!(s.makespan(), 220);
+}
+
+/// The validator rejects schedules that ignore a communication edge.
+#[test]
+fn validator_enforces_communication() {
+    let mut impls = ImplPool::new();
+    let a_sw = impls.add(Implementation::software("a", 50));
+    let b_sw = impls.add(Implementation::software("b", 70));
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", vec![a_sw]);
+    let b = g.add_task("b", vec![b_sw]);
+    g.add_edge_with_cost(a, b, 100);
+    let inst = ProblemInstance::new(
+        "enforce",
+        Architecture::new(2, Device::tiny_test(ResourceVec::new(4, 0, 0), 1)),
+        g,
+        impls,
+    )
+    .unwrap();
+    use prfpga::model::{Schedule, TaskAssignment};
+    // Different cores, back-to-back without the 100-tick gap: invalid.
+    let bad = Schedule {
+        regions: vec![],
+        assignments: vec![
+            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
+            TaskAssignment { impl_id: b_sw, placement: Placement::Core(1), start: 50, end: 120 },
+        ],
+        reconfigurations: vec![],
+    };
+    assert!(validate_schedule(&inst, &bad).is_err());
+    // With the gap: valid.
+    let good = Schedule {
+        regions: vec![],
+        assignments: vec![
+            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
+            TaskAssignment { impl_id: b_sw, placement: Placement::Core(1), start: 150, end: 220 },
+        ],
+        reconfigurations: vec![],
+    };
+    assert!(validate_schedule(&inst, &good).is_ok());
+    // Same core, no gap: also valid (co-located).
+    let coloc = Schedule {
+        regions: vec![],
+        assignments: vec![
+            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
+            TaskAssignment { impl_id: b_sw, placement: Placement::Core(0), start: 50, end: 120 },
+        ],
+        reconfigurations: vec![],
+    };
+    assert!(validate_schedule(&inst, &coloc).is_ok());
+}
+
+/// All schedulers produce valid schedules on generated instances with
+/// communication costs, and the ASAP replay stays consistent.
+#[test]
+fn all_schedulers_respect_generated_communication_costs() {
+    for seed in [1u64, 2] {
+        let cfg = GraphConfig {
+            comm_cost_range: (50, 800),
+            ..GraphConfig::standard(25)
+        };
+        let inst =
+            TaskGraphGenerator::new(seed).generate("commgen", &cfg, Architecture::zedboard_pr());
+        assert!(inst.graph.edge_costs.iter().any(|&c| c > 0));
+
+        let pa = PaScheduler::new(SchedulerConfig::default())
+            .schedule(&inst)
+            .unwrap();
+        validate_schedule(&inst, &pa).expect("PA valid under comm costs");
+        let asap = execute_asap(&inst, &pa).unwrap();
+        assert!(asap.makespan <= pa.makespan());
+
+        let is1 = IsKScheduler::with_k(1).schedule(&inst).unwrap();
+        validate_schedule(&inst, &is1).expect("IS-1 valid under comm costs");
+
+        let is2 = IsKScheduler::with_k(2).schedule(&inst).unwrap();
+        validate_schedule(&inst, &is2).expect("IS-2 valid under comm costs");
+
+        let heft = HeftScheduler::new().schedule(&inst).unwrap();
+        validate_schedule(&inst, &heft).expect("HEFT valid under comm costs");
+
+        let par = PaRScheduler::new(SchedulerConfig {
+            max_iterations: 3,
+            ..Default::default()
+        })
+        .schedule(&inst)
+        .unwrap();
+        validate_schedule(&inst, &par).expect("PA-R valid under comm costs");
+    }
+}
+
+/// Instances with communication costs survive the JSON round-trip.
+#[test]
+fn edge_costs_roundtrip_through_json() {
+    let cfg = GraphConfig {
+        comm_cost_range: (10, 100),
+        ..GraphConfig::standard(12)
+    };
+    let inst = TaskGraphGenerator::new(9).generate("commjson", &cfg, Architecture::zedboard_pr());
+    let back = ProblemInstance::from_json(&inst.to_json()).unwrap();
+    assert_eq!(inst, back);
+    assert_eq!(inst.graph.edge_costs, back.graph.edge_costs);
+}
+
+/// Old-format JSON without the `edge_costs` field still loads (all-zero).
+#[test]
+fn legacy_json_without_edge_costs_loads() {
+    let mut impls = ImplPool::new();
+    let sw = impls.add(Implementation::software("s", 10));
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", vec![sw]);
+    let b = g.add_task("b", vec![sw]);
+    g.add_edge(a, b);
+    let inst = ProblemInstance::new(
+        "legacy",
+        Architecture::new(1, Device::tiny_test(ResourceVec::new(1, 0, 0), 1)),
+        g,
+        impls,
+    )
+    .unwrap();
+    let mut json: serde_json::Value = serde_json::from_str(&inst.to_json()).unwrap();
+    json["graph"]
+        .as_object_mut()
+        .unwrap()
+        .remove("edge_costs");
+    let reloaded = ProblemInstance::from_json(&json.to_string()).unwrap();
+    assert_eq!(reloaded.graph.edge_cost(0), 0);
+}

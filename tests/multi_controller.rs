@@ -1,0 +1,127 @@
+//! Tests of the multiple-reconfiguration-controllers generalization
+//! (the model of the paper's ref. \[8\]; the paper itself fixes k = 1).
+
+use prfpga::baseline::IsKConfig;
+use prfpga::gen::{GraphConfig, TaskGraphGenerator};
+use prfpga::model::Device;
+use prfpga::prelude::*;
+
+/// Two independent two-task chains, each in its own region: with one
+/// controller the two reconfigurations serialize; with two they overlap.
+fn contention_instance(controllers: usize) -> ProblemInstance {
+    let mut impls = ImplPool::new();
+    let mut g = TaskGraph::new();
+    let mut hw_ids = Vec::new();
+    for i in 0..4 {
+        let sw = impls.add(Implementation::software(format!("s{i}"), 100_000));
+        let hw = impls.add(Implementation::hardware(
+            format!("h{i}"),
+            100,
+            ResourceVec::new(50, 0, 0),
+        ));
+        hw_ids.push(hw);
+        g.add_task(format!("t{i}"), vec![sw, hw]);
+    }
+    g.add_edge(TaskId(0), TaskId(1));
+    g.add_edge(TaskId(2), TaskId(3));
+    ProblemInstance::new(
+        format!("ctrl{controllers}"),
+        Architecture::new(1, Device::tiny_test(ResourceVec::new(100, 0, 0), 1))
+            .with_reconfig_controllers(controllers),
+        g,
+        impls,
+    )
+    .unwrap()
+}
+
+#[test]
+fn second_controller_removes_contention_for_pa() {
+    // Capacity for two 50-CLB regions: each chain gets one, each chain
+    // needs one reconfiguration (50 ticks at rec_freq 1), both become
+    // ready at t=100.
+    let one = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&contention_instance(1))
+        .unwrap();
+    let two = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&contention_instance(2))
+        .unwrap();
+    validate_schedule(&contention_instance(1), &one).unwrap();
+    validate_schedule(&contention_instance(2), &two).unwrap();
+    assert!(
+        two.makespan() < one.makespan(),
+        "parallel reconfigurations must shorten the schedule ({} vs {})",
+        two.makespan(),
+        one.makespan()
+    );
+    // With one controller the second chain waits out the first
+    // reconfiguration: 100 + 50 (wait) + 50 + 100.
+    assert_eq!(one.makespan(), 300);
+    // With two controllers both reconfigure concurrently: 100 + 50 + 100.
+    assert_eq!(two.makespan(), 250);
+}
+
+#[test]
+fn validator_enforces_the_controller_count() {
+    let inst1 = contention_instance(1);
+    let inst2 = contention_instance(2);
+    // A schedule computed for 2 controllers overlaps reconfigurations;
+    // the 1-controller validator must reject it.
+    let two = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst2)
+        .unwrap();
+    assert!(validate_schedule(&inst2, &two).is_ok());
+    assert!(
+        matches!(
+            validate_schedule(&inst1, &two),
+            Err(prfpga::sim::ValidationError::ReconfiguratorContention)
+        ),
+        "overlapping reconfigurations are contention under k = 1"
+    );
+}
+
+#[test]
+fn baselines_exploit_extra_controllers() {
+    for seed in [3u64, 4] {
+        let base = TaskGraphGenerator::new(seed).generate(
+            "mc",
+            &GraphConfig::standard(30),
+            Architecture::zedboard_pr(),
+        );
+        let mut multi = base.clone();
+        multi.architecture.num_reconfig_controllers = 2;
+
+        let is1 = IsKScheduler::new(IsKConfig::is1());
+        let s1 = is1.schedule(&base).unwrap();
+        let s2 = is1.schedule(&multi).unwrap();
+        validate_schedule(&base, &s1).unwrap();
+        validate_schedule(&multi, &s2).unwrap();
+        assert!(
+            s2.makespan() <= s1.makespan(),
+            "a second controller can only help IS-1 ({} vs {})",
+            s2.makespan(),
+            s1.makespan()
+        );
+
+        let heft = HeftScheduler::new();
+        let h2 = heft.schedule(&multi).unwrap();
+        validate_schedule(&multi, &h2).unwrap();
+    }
+}
+
+#[test]
+fn default_instances_keep_one_controller() {
+    let inst = TaskGraphGenerator::new(1).generate(
+        "def",
+        &GraphConfig::standard(10),
+        Architecture::zedboard_pr(),
+    );
+    assert_eq!(inst.architecture.num_reconfig_controllers, 1);
+    // Serde default on legacy JSON.
+    let mut json: serde_json::Value = serde_json::from_str(&inst.to_json()).unwrap();
+    json["architecture"]
+        .as_object_mut()
+        .unwrap()
+        .remove("num_reconfig_controllers");
+    let back = ProblemInstance::from_json(&json.to_string()).unwrap();
+    assert_eq!(back.architecture.num_reconfig_controllers, 1);
+}

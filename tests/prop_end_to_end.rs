@@ -1,0 +1,117 @@
+//! Property-based end-to-end tests: for arbitrary random instances, every
+//! scheduler's output passes the independent validator — the workspace's
+//! master invariant.
+
+use proptest::prelude::*;
+
+use prfpga::model::Device;
+use prfpga::prelude::*;
+
+/// Strategy: a small random instance with arbitrary DAG shape (forward
+/// edges only), 1-3 cores, a randomly sized fabric, and per-task random
+/// implementation sets (always >= 1 software implementation).
+fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
+    let task_count = 1usize..12;
+    task_count.prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+        let impls_per_task = proptest::collection::vec(
+            (
+                1u64..2000,               // software time
+                proptest::option::of((1u64..500, 0u64..900, 0u64..40, 0u64..40)), // optional hw variant
+                proptest::option::of((1u64..800, 0u64..400, 0u64..20, 0u64..20)), // second optional hw
+            ),
+            n,
+        );
+        let cores = 1usize..4;
+        let fabric = (0u64..1200, 0u64..60, 0u64..60);
+        (Just(n), edges, impls_per_task, cores, fabric).prop_map(
+            |(_n, edges, impl_specs, cores, fabric)| {
+                let device =
+                    Device::tiny_test(ResourceVec::new(fabric.0, fabric.1, fabric.2), 7);
+                let cap = device.max_res;
+                let mut impls = ImplPool::new();
+                let mut graph = TaskGraph::new();
+                for (i, (sw_t, hw1, hw2)) in impl_specs.into_iter().enumerate() {
+                    let mut ids = vec![impls.add(Implementation::software(
+                        format!("s{i}"),
+                        sw_t,
+                    ))];
+                    for (k, hw) in [hw1, hw2].into_iter().flatten().enumerate() {
+                        let res = ResourceVec::new(hw.1, hw.2, hw.3);
+                        if res.fits_in(&cap) && !res.is_zero() {
+                            ids.push(impls.add(Implementation::hardware(
+                                format!("h{i}_{k}"),
+                                hw.0,
+                                res,
+                            )));
+                        }
+                    }
+                    graph.add_task(format!("t{i}"), ids);
+                }
+                for (a, b) in edges {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if lo != hi {
+                        graph.add_edge(TaskId(lo as u32), TaskId(hi as u32));
+                    }
+                }
+                ProblemInstance::new("prop", Architecture::new(cores, device), graph, impls)
+                    .expect("constructed valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pa_schedules_are_always_valid(inst in arb_instance()) {
+        let s = PaScheduler::new(SchedulerConfig::default()).schedule(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &s).is_ok(),
+            "PA produced invalid schedule: {:?}", validate_schedule(&inst, &s));
+    }
+
+    #[test]
+    fn par_schedules_are_always_valid(inst in arb_instance(), seed in 0u64..1000) {
+        let cfg = SchedulerConfig {
+            max_iterations: 3,
+            seed,
+            time_budget: std::time::Duration::from_secs(10),
+            ..Default::default()
+        };
+        let s = PaRScheduler::new(cfg).schedule(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn is1_schedules_are_always_valid(inst in arb_instance()) {
+        let s = IsKScheduler::with_k(1).schedule(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn is2_schedules_are_always_valid(inst in arb_instance()) {
+        let s = IsKScheduler::with_k(2).schedule(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn heft_schedules_are_always_valid(inst in arb_instance()) {
+        let s = HeftScheduler::new().schedule(&inst).unwrap();
+        prop_assert!(validate_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn asap_replay_is_consistent(inst in arb_instance()) {
+        let s = PaScheduler::new(SchedulerConfig::default()).schedule(&inst).unwrap();
+        let asap = prfpga::sim::execute_asap(&inst, &s).expect("consistent");
+        prop_assert!(asap.makespan <= s.makespan());
+    }
+
+    #[test]
+    fn instances_roundtrip_through_json(inst in arb_instance()) {
+        let json = inst.to_json();
+        let back = ProblemInstance::from_json(&json).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+}

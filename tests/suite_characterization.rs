@@ -1,0 +1,137 @@
+//! Guards the benchmark-suite calibration: the qualitative reproduction in
+//! EXPERIMENTS.md depends on the generated workload sitting in the paper's
+//! operating regime. If a generator change moves these statistics, the
+//! headline comparisons will silently drift — fail here instead.
+
+use prfpga::gen::{instance_stats, SuiteConfig};
+use prfpga::prelude::*;
+
+fn sample() -> Vec<ProblemInstance> {
+    SuiteConfig {
+        groups: vec![20, 60, 100],
+        graphs_per_group: 3,
+        seed: 0x5EED_2016,
+    }
+    .generate(&Architecture::zedboard_pr())
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[test]
+fn suite_shape_matches_the_paper() {
+    for inst in sample() {
+        // 1 SW + 3 HW implementations per task (§VII-A); shared sets allowed.
+        for t in inst.graph.task_ids() {
+            assert_eq!(inst.sw_impls(t).count(), 1);
+            assert_eq!(inst.hw_impls(t).count(), 3);
+        }
+        // ZedBoard-like platform.
+        assert_eq!(inst.architecture.num_processors, 2);
+        assert_eq!(inst.architecture.device.name, "xc7z020");
+        assert_eq!(inst.architecture.device.rec_freq, 400);
+    }
+}
+
+#[test]
+fn software_slowdown_band() {
+    for inst in sample() {
+        let st = instance_stats(&inst);
+        assert!(
+            st.sw_slowdown_x100 >= 250 && st.sw_slowdown_x100 <= 800,
+            "{}: software slowdown {}x100 outside the calibrated band",
+            inst.name,
+            st.sw_slowdown_x100
+        );
+    }
+}
+
+#[test]
+fn parallelism_band() {
+    for inst in sample() {
+        let st = instance_stats(&inst);
+        assert!(
+            st.max_parallelism >= 2,
+            "{}: layered graphs must expose parallelism",
+            inst.name
+        );
+        assert!(
+            (st.avg_parallelism_x100 as f64) >= 150.0,
+            "{}: average width {} too serial for the suite",
+            inst.name,
+            st.avg_parallelism_x100
+        );
+        assert!(st.depth >= 3, "{}: degenerate depth", inst.name);
+    }
+}
+
+#[test]
+fn fabric_pressure_grows_with_task_count() {
+    // The contention story requires small graphs to (nearly) fit and large
+    // graphs to over-subscribe the fabric even with the smallest variants.
+    let suite = sample();
+    let pressure = |name_prefix: &str| -> u64 {
+        let matches: Vec<_> = suite
+            .iter()
+            .filter(|i| i.name.starts_with(name_prefix))
+            .collect();
+        assert!(!matches.is_empty());
+        matches
+            .iter()
+            .map(|i| instance_stats(i).min_hw_clb_pressure_pm)
+            .sum::<u64>()
+            / matches.len() as u64
+    };
+    let p20 = pressure("g20_");
+    let p100 = pressure("g100_");
+    assert!(
+        p20 < p100,
+        "pressure must grow with the task count ({p20} vs {p100})"
+    );
+    assert!(
+        p100 > 1000,
+        "100-task graphs must over-subscribe the fabric (got {p100} pm)"
+    );
+    assert!(
+        p20 < 1500,
+        "20-task graphs should be near or below capacity (got {p20} pm)"
+    );
+}
+
+#[test]
+fn reconfiguration_to_execution_ratio_band() {
+    // §I's premise: reconfiguration overhead competes with execution. For
+    // the selected-at-cheapest implementations, a region reconfiguration
+    // should cost between 20% and 500% of one task execution.
+    for inst in sample() {
+        let device = &inst.architecture.device;
+        let mut ratio_x100_sum = 0u64;
+        let mut n = 0u64;
+        for t in inst.graph.task_ids() {
+            for i in inst.hw_impls(t) {
+                let imp = inst.impls.get(i);
+                let rec = device.reconf_time(&imp.resources());
+                ratio_x100_sum += rec * 100 / imp.time.max(1);
+                n += 1;
+            }
+        }
+        let avg = ratio_x100_sum / n;
+        assert!(
+            (20..=500).contains(&avg),
+            "{}: reconf/exec ratio {avg}x100 leaves the paper's regime",
+            inst.name
+        );
+    }
+}
+
+#[test]
+fn module_sharing_present_in_large_graphs() {
+    for inst in sample().iter().filter(|i| i.graph.len() >= 60) {
+        let st = instance_stats(inst);
+        assert!(
+            st.shared_impl_tasks >= 2,
+            "{}: §VII-A requires shared implementations",
+            inst.name
+        );
+    }
+}
