@@ -332,7 +332,11 @@ mod tests {
         use prfpga_model::{Device, ImplPool, Implementation, ResourceVec, TaskGraph};
         let mut pool = ImplPool::new();
         let sw = pool.add(Implementation::software("sw", 1000));
-        let hw = pool.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw = pool.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         let mut prev = None;
         for i in 0..3 {

@@ -302,7 +302,11 @@ mod tests {
         let mut pool = ImplPool::new();
         let mut g = TaskGraph::new();
         let sa = pool.add(Implementation::software("sa", 100));
-        let ha = pool.add(Implementation::hardware("ha", 10, ResourceVec::new(5, 0, 0)));
+        let ha = pool.add(Implementation::hardware(
+            "ha",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let a = g.add_task("a", vec![sa, ha]);
         let sb = pool.add(Implementation::software("sb", 90));
         let hb = pool.add(Implementation::hardware("hb", 8, ResourceVec::new(4, 0, 0)));
@@ -348,10 +352,18 @@ mod tests {
         // reconfiguration of 5 ticks), or a new region (4 CLB fits in the
         // remaining 3? no: 5+4=9 > 8 -> no new region).
         let opts = ps.enumerate_options(TaskId(1), true);
-        assert!(opts.iter().all(|o| !(o.core.is_none() && o.region.is_none())));
+        assert!(opts
+            .iter()
+            .all(|o| !(o.core.is_none() && o.region.is_none())));
         let reuse = opts.iter().find(|o| o.region == Some(0)).unwrap();
-        let (ctrl, rs, re) = reuse.reconf.expect("different module needs reconfiguration");
-        assert_eq!((ctrl, rs, re), (0, 10, 15), "prefetch right after region drains");
+        let (ctrl, rs, re) = reuse
+            .reconf
+            .expect("different module needs reconfiguration");
+        assert_eq!(
+            (ctrl, rs, re),
+            (0, 10, 15),
+            "prefetch right after region drains"
+        );
         assert_eq!(reuse.start, 15);
         assert_eq!(reuse.end, 23);
     }
@@ -361,7 +373,11 @@ mod tests {
         // Two independent tasks sharing one implementation.
         let mut pool = ImplPool::new();
         let sw = pool.add(Implementation::software("sw", 100));
-        let hw = pool.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw = pool.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         g.add_task("a", vec![sw, hw]);
         g.add_task("b", vec![sw, hw]);

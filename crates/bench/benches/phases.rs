@@ -48,7 +48,12 @@ fn phases(c: &mut Criterion) {
     ];
     let planner = Floorplanner::new(FloorplannerConfig::default());
     c.bench_function("floorplan_5_regions_xc7z020", |b| {
-        b.iter(|| planner.check_device(std::hint::black_box(&device), std::hint::black_box(&demands)))
+        b.iter(|| {
+            planner.check_device(
+                std::hint::black_box(&device),
+                std::hint::black_box(&demands),
+            )
+        })
     });
 }
 

@@ -15,7 +15,11 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running communication-cost ablation at {scale:?} scale");
     let cfg = scale.config();
-    let ranges = [("none (paper)", (0u64, 0u64)), ("light", (50, 500)), ("heavy", (500, 2000))];
+    let ranges = [
+        ("none (paper)", (0u64, 0u64)),
+        ("light", (50, 500)),
+        ("heavy", (500, 2000)),
+    ];
     let mut rows = Vec::new();
     for &tasks in &cfg.suite.groups {
         let mut row = vec![tasks.to_string()];

@@ -11,7 +11,9 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running controller-count ablation at {scale:?} scale");
     let cfg = scale.config();
-    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let suite = cfg
+        .suite
+        .generate(&prfpga_model::Architecture::zedboard_pr());
     let mut rows = Vec::new();
     for group in &suite {
         let tasks = group[0].graph.len();
@@ -31,6 +33,14 @@ fn main() {
     }
     println!(
         "### Ablation — reconfiguration controllers (mean makespan PA / IS-1, ticks)\n\n{}",
-        markdown_table(&["# Tasks", "1 controller (paper)", "2 controllers", "4 controllers"], &rows)
+        markdown_table(
+            &[
+                "# Tasks",
+                "1 controller (paper)",
+                "2 controllers",
+                "4 controllers"
+            ],
+            &rows
+        )
     );
 }

@@ -13,7 +13,9 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running cost-metric ablation at {scale:?} scale");
     let cfg = scale.config();
-    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let suite = cfg
+        .suite
+        .generate(&prfpga_model::Architecture::zedboard_pr());
     let policies = [
         ("full (paper)", CostPolicy::Full),
         ("resource only", CostPolicy::ResourceOnly),

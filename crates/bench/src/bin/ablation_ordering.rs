@@ -14,7 +14,9 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running ordering ablation at {scale:?} scale");
     let cfg = scale.config();
-    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let suite = cfg
+        .suite
+        .generate(&prfpga_model::Architecture::zedboard_pr());
     let policies = [
         ("efficiency (paper)", OrderingPolicy::EfficiencyIndex),
         ("inverse efficiency", OrderingPolicy::InverseEfficiency),

@@ -10,7 +10,9 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running module-reuse ablation at {scale:?} scale");
     let cfg = scale.config();
-    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
+    let suite = cfg
+        .suite
+        .generate(&prfpga_model::Architecture::zedboard_pr());
     let mut rows = Vec::new();
     for group in &suite {
         let tasks = group[0].graph.len();

@@ -1,16 +1,27 @@
 //! Regenerates Figure 4: average improvement of PA over IS-5
 //! (paper: smaller than the IS-1 gap — IS-5's joint window narrows it).
 
-use prfpga_bench::experiments::{improvement_section, improvement_summaries, run_suite, Algo};
-use prfpga_bench::Scale;
+use prfpga_bench::experiments::{improvement_section, improvement_summaries, run_suite_exec, Algo};
+use prfpga_bench::{ExecPolicy, Scale};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exec = ExecPolicy::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let scale = Scale::from_env();
-    eprintln!("running Figure 4 at {scale:?} scale");
-    let results = run_suite(&scale.config(), &[Algo::Pa, Algo::Is5]);
+    eprintln!(
+        "running Figure 4 at {scale:?} scale on {} thread(s)",
+        exec.threads()
+    );
+    let results = run_suite_exec(&scale.config(), &[Algo::Pa, Algo::Is5], exec);
     let summaries = improvement_summaries(&results, Algo::Pa, Algo::Is5);
     println!(
         "{}",
-        improvement_section("Figure 4 — average improvement of PA over IS-5 [%]", &summaries)
+        improvement_section(
+            "Figure 4 — average improvement of PA over IS-5 [%]",
+            &summaries
+        )
     );
 }

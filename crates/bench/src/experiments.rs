@@ -8,6 +8,7 @@ use prfpga_baseline::IsKConfig;
 use prfpga_model::ProblemInstance;
 use prfpga_sched::{PaRScheduler, SchedulerConfig};
 
+use crate::exec::{parallel_map, ExecPolicy};
 use crate::report::{improvement_pct, markdown_table, mean, sample_std, secs, GroupSummary};
 use crate::runners::{run_heft, run_isk, run_pa, run_par_timed, InstanceResult};
 use crate::scale::ScaleConfig;
@@ -43,15 +44,26 @@ pub struct SuiteResults {
     pub groups: Vec<GroupResults>,
 }
 
-/// Runs the requested algorithms over the configured suite. PA-R is
-/// time-matched: each instance's PA-R budget equals the measured IS-5
-/// time on that instance (floored at `par_min_budget`), the paper's
-/// fairness protocol.
+/// Runs the requested algorithms over the configured suite with the
+/// executor picked by `PRFPGA_THREADS` (see [`ExecPolicy::from_env`]).
 pub fn run_suite(cfg: &ScaleConfig, algos: &[Algo]) -> SuiteResults {
-    let suite = cfg.suite.generate(&prfpga_model::Architecture::zedboard_pr());
-    let need_is5 = algos.contains(&Algo::Is5) || algos.contains(&Algo::ParTimed);
-    let pa_cfg = SchedulerConfig::default();
-    let is1_cfg = IsKConfig::is1();
+    run_suite_exec(cfg, algos, ExecPolicy::from_env())
+}
+
+/// Runs the requested algorithms over the configured suite under an
+/// explicit execution policy. PA-R is time-matched: each instance's PA-R
+/// budget equals the measured IS-5 time on that instance (floored at
+/// `par_min_budget`), the paper's fairness protocol.
+///
+/// The work item is *one instance running all requested algorithms* — the
+/// time-matching protocol needs the IS-5 wall-clock of an instance before
+/// its PA-R run, so the (instance, algo) pairs of one instance stay on one
+/// worker. Results merge back in suite order, making every derived table
+/// independent of the thread count (timings aside).
+pub fn run_suite_exec(cfg: &ScaleConfig, algos: &[Algo], exec: ExecPolicy) -> SuiteResults {
+    let suite = cfg
+        .suite
+        .generate(&prfpga_model::Architecture::zedboard_pr());
 
     let mut out = SuiteResults::default();
     for group in &suite {
@@ -60,42 +72,49 @@ pub fn run_suite(cfg: &ScaleConfig, algos: &[Algo]) -> SuiteResults {
             tasks,
             per_algo: BTreeMap::new(),
         };
-        for inst in group {
-            if algos.contains(&Algo::Pa) {
-                gr.per_algo
-                    .entry(Algo::Pa)
-                    .or_default()
-                    .push(run_pa(inst, &pa_cfg));
-            }
-            if algos.contains(&Algo::Is1) {
-                gr.per_algo
-                    .entry(Algo::Is1)
-                    .or_default()
-                    .push(run_isk(inst, &is1_cfg));
-            }
-            let mut is5_elapsed = Duration::ZERO;
-            if need_is5 {
-                let r = run_isk(inst, &cfg.is5);
-                is5_elapsed = r.elapsed;
-                gr.per_algo.entry(Algo::Is5).or_default().push(r);
-            }
-            if algos.contains(&Algo::ParTimed) {
-                let budget = is5_elapsed.max(cfg.par_min_budget);
-                gr.per_algo
-                    .entry(Algo::ParTimed)
-                    .or_default()
-                    .push(run_par_timed(inst, &pa_cfg, budget));
-            }
-            if algos.contains(&Algo::Heft) {
-                gr.per_algo
-                    .entry(Algo::Heft)
-                    .or_default()
-                    .push(run_heft(inst));
+        let per_instance = parallel_map(group, exec, |_, inst| run_instance(cfg, algos, inst));
+        for results in per_instance {
+            for (algo, r) in results {
+                gr.per_algo.entry(algo).or_default().push(r);
             }
         }
         out.groups.push(gr);
     }
     out
+}
+
+/// Runs every requested algorithm on one instance, in the fixed
+/// measurement order (PA, IS-1, IS-5, time-matched PA-R, HEFT).
+fn run_instance(
+    cfg: &ScaleConfig,
+    algos: &[Algo],
+    inst: &ProblemInstance,
+) -> Vec<(Algo, InstanceResult)> {
+    let need_is5 = algos.contains(&Algo::Is5) || algos.contains(&Algo::ParTimed);
+    let pa_cfg = SchedulerConfig::default();
+    let is1_cfg = IsKConfig::is1();
+
+    let mut results = Vec::new();
+    if algos.contains(&Algo::Pa) {
+        results.push((Algo::Pa, run_pa(inst, &pa_cfg)));
+    }
+    if algos.contains(&Algo::Is1) {
+        results.push((Algo::Is1, run_isk(inst, &is1_cfg)));
+    }
+    let mut is5_elapsed = Duration::ZERO;
+    if need_is5 {
+        let r = run_isk(inst, &cfg.is5);
+        is5_elapsed = r.elapsed;
+        results.push((Algo::Is5, r));
+    }
+    if algos.contains(&Algo::ParTimed) {
+        let budget = is5_elapsed.max(cfg.par_min_budget);
+        results.push((Algo::ParTimed, run_par_timed(inst, &pa_cfg, budget)));
+    }
+    if algos.contains(&Algo::Heft) {
+        results.push((Algo::Heft, run_heft(inst)));
+    }
+    results
 }
 
 /// Table I: algorithm execution times per group.
@@ -111,7 +130,10 @@ pub fn table1_section(results: &SuiteResults) -> String {
         let pa_tot = avg(&|r: &InstanceResult| r.elapsed, pa);
         let is1 = avg(&|r: &InstanceResult| r.elapsed, &g.per_algo[&Algo::Is1]);
         let is5 = avg(&|r: &InstanceResult| r.elapsed, &g.per_algo[&Algo::Is5]);
-        let par = avg(&|r: &InstanceResult| r.elapsed, &g.per_algo[&Algo::ParTimed]);
+        let par = avg(
+            &|r: &InstanceResult| r.elapsed,
+            &g.per_algo[&Algo::ParTimed],
+        );
         rows.push(vec![
             g.tasks.to_string(),
             secs(pa_sched),
@@ -233,9 +255,7 @@ pub fn fig6_traces(
 
 /// Renders the Figure 6 section.
 pub fn fig6_section(traces: &[(usize, Vec<prfpga_sched::randomized::ConvergencePoint>)]) -> String {
-    let mut out = String::from(
-        "### Figure 6 — PA-R best makespan over time\n\n",
-    );
+    let mut out = String::from("### Figure 6 — PA-R best makespan over time\n\n");
     for (size, trace) in traces {
         out.push_str(&format!("instance with {size} tasks:\n\n"));
         let rows: Vec<Vec<String>> = trace
@@ -318,7 +338,10 @@ mod tests {
         let cfg = tiny_cfg();
         let traces = fig6_traces(&cfg);
         assert_eq!(traces.len(), 1);
-        assert!(!traces[0].1.is_empty(), "at least the first feasible improvement");
+        assert!(
+            !traces[0].1.is_empty(),
+            "at least the first feasible improvement"
+        );
         let sec = fig6_section(&traces);
         assert!(sec.contains("8 tasks"));
     }

@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod runners;
 pub mod scale;
 
-pub use report::{improvement_pct, mean, sample_std, GroupSummary};
+pub use exec::{parallel_map, ExecPolicy};
+pub use report::{improvement_pct, mean, phase_trace_section, sample_std, GroupSummary};
 pub use runners::{run_heft, run_isk, run_pa, run_par_iters, run_par_timed, InstanceResult};
 pub use scale::{Scale, ScaleConfig};

@@ -1,6 +1,9 @@
 //! Aggregation and Markdown-table formatting for the experiment binaries.
 
 use prfpga_model::Time;
+use prfpga_sched::Phase;
+
+use crate::experiments::{Algo, SuiteResults};
 
 /// Mean of a slice of f64 (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -79,6 +82,51 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Renders seconds with three decimals (Table I style).
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+/// PA phase breakdown: per group, the mean wall-clock of every pipeline
+/// phase (A–H) over the group's instances, plus the mean restart count.
+/// Complements Table I, which only reports the scheduling/floorplanning
+/// split.
+pub fn phase_trace_section(results: &SuiteResults) -> String {
+    let mut rows = Vec::new();
+    for g in &results.groups {
+        let traces: Vec<_> = g
+            .per_algo
+            .get(&Algo::Pa)
+            .map(|rs| rs.iter().filter_map(|r| r.trace.as_ref()).collect())
+            .unwrap_or_default();
+        if traces.is_empty() {
+            continue;
+        }
+        let mut row = vec![g.tasks.to_string()];
+        for phase in Phase::ALL {
+            let ms = mean(
+                &traces
+                    .iter()
+                    .map(|t| t.time(phase).as_secs_f64() * 1e3)
+                    .collect::<Vec<_>>(),
+            );
+            row.push(format!("{ms:.3}"));
+        }
+        row.push(format!(
+            "{:.1}",
+            mean(&traces.iter().map(|t| t.attempts as f64).collect::<Vec<_>>())
+        ));
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return String::from("### PA phase breakdown\n\n(no PA runs in this suite)\n");
+    }
+    let mut headers = vec!["# Tasks"];
+    for phase in Phase::ALL {
+        headers.push(phase.name());
+    }
+    headers.push("attempts");
+    format!(
+        "### PA phase breakdown — mean wall-clock per phase [ms]\n\n{}",
+        markdown_table(&headers, &rows)
+    )
 }
 
 #[cfg(test)]

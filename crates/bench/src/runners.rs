@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
 use prfpga_model::{ProblemInstance, Time};
-use prfpga_sched::{PaRScheduler, PaScheduler, SchedulerConfig};
+use prfpga_sched::{PaRScheduler, PaScheduler, PhaseTrace, SchedulerConfig};
 use prfpga_sim::validate_schedule;
 
 /// Outcome of one scheduler on one instance. Every schedule behind one of
@@ -23,6 +23,8 @@ pub struct InstanceResult {
     pub scheduling_time: Duration,
     /// Floorplanning-only time where reported.
     pub floorplanning_time: Duration,
+    /// Per-phase timing trace (PA only; `None` for the other algorithms).
+    pub trace: Option<PhaseTrace>,
 }
 
 fn check(inst: &ProblemInstance, schedule: &prfpga_model::Schedule) {
@@ -48,6 +50,7 @@ pub fn run_pa(inst: &ProblemInstance, config: &SchedulerConfig) -> InstanceResul
         elapsed,
         scheduling_time: r.scheduling_time,
         floorplanning_time: r.floorplanning_time,
+        trace: Some(r.trace),
     }
 }
 
@@ -75,6 +78,7 @@ pub fn run_par_timed(
         elapsed,
         scheduling_time: elapsed,
         floorplanning_time: Duration::ZERO,
+        trace: None,
     }
 }
 
@@ -102,6 +106,7 @@ pub fn run_par_iters(
         elapsed,
         scheduling_time: elapsed,
         floorplanning_time: Duration::ZERO,
+        trace: None,
     }
 }
 
@@ -117,13 +122,16 @@ pub fn run_isk(inst: &ProblemInstance, config: &IsKConfig) -> InstanceResult {
         elapsed: r.elapsed,
         scheduling_time: r.elapsed,
         floorplanning_time: Duration::ZERO,
+        trace: None,
     }
 }
 
 /// Runs the HEFT-style baseline.
 pub fn run_heft(inst: &ProblemInstance) -> InstanceResult {
     let t0 = Instant::now();
-    let s = HeftScheduler::new().schedule(inst).expect("validated instance");
+    let s = HeftScheduler::new()
+        .schedule(inst)
+        .expect("validated instance");
     let elapsed = t0.elapsed();
     check(inst, &s);
     InstanceResult {
@@ -132,6 +140,7 @@ pub fn run_heft(inst: &ProblemInstance) -> InstanceResult {
         elapsed,
         scheduling_time: elapsed,
         floorplanning_time: Duration::ZERO,
+        trace: None,
     }
 }
 

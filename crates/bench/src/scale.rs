@@ -86,7 +86,10 @@ mod tests {
         let f = Scale::Full.config();
         assert!(s.suite.graphs_per_group < f.suite.graphs_per_group);
         assert!(s.is5.node_budget < f.is5.node_budget);
-        assert_eq!(s.suite.groups, f.suite.groups, "same group sizes, fewer graphs");
+        assert_eq!(
+            s.suite.groups, f.suite.groups,
+            "same group sizes, fewer graphs"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! prfpga generate --tasks 30 --seed 7 --out app.json [--topology layered]
 //! prfpga schedule --input app.json [--algo pa|par|is1|is5|heft] [--gantt]
-//!                 [--out schedule.json] [--budget-ms 500]
+//!                 [--out schedule.json] [--budget-ms 500] [--trace]
+//!                 [--threads N | --serial]
 //! prfpga validate --input app.json --schedule schedule.json
 //! prfpga devices
 //! ```
@@ -36,6 +37,10 @@ const USAGE: &str = "usage:
                   [--recfreq <bits-per-tick>] [--comm <max-ticks>] --out <file.json>
   prfpga schedule --input <file.json> [--algo pa|par|is1|is5|heft]
                   [--budget-ms <ms>] [--gantt] [--out <schedule.json>]
+                  [--trace]               (PA only: per-phase timing table)
+                  [--threads <n>]         (PA-R workers; default: all cores,
+                                           or the PRFPGA_THREADS variable)
+                  [--serial]              (force single-threaded PA-R)
   prfpga validate --input <file.json> --schedule <schedule.json>
   prfpga devices";
 
@@ -48,6 +53,28 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Worker count for PA-R, mirroring the bench executor's precedence:
+/// `--serial` beats `--threads <n>` beats `PRFPGA_THREADS` (a count or
+/// `serial`) beats all available cores.
+fn thread_policy(args: &[String]) -> Result<usize, String> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if has(args, "--serial") {
+        return Ok(1);
+    }
+    if let Some(s) = flag(args, "--threads") {
+        let n: usize = s.parse().map_err(|e| format!("--threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        return Ok(n);
+    }
+    Ok(match std::env::var("PRFPGA_THREADS").ok().as_deref() {
+        Some("serial") | Some("SERIAL") => 1,
+        Some(s) => s.parse().ok().filter(|&n| n > 0).unwrap_or(default),
+        None => default,
+    })
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -107,7 +134,11 @@ fn generate(args: &[String]) -> Result<(), String> {
         .unwrap_or(0);
     let config = GraphConfig {
         topology,
-        comm_cost_range: if comm_max == 0 { (0, 0) } else { (comm_max / 10, comm_max) },
+        comm_cost_range: if comm_max == 0 {
+            (0, 0)
+        } else {
+            (comm_max / 10, comm_max)
+        },
         ..GraphConfig::standard(tasks)
     };
     let inst = TaskGraphGenerator::new(seed).generate(
@@ -135,17 +166,36 @@ fn schedule(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1000);
 
+    let trace = has(args, "--trace");
+    if trace && algo != "pa" {
+        return Err("--trace requires --algo pa (only PA runs the traced pipeline)".into());
+    }
+    let threads = thread_policy(args)?;
+
     let t0 = std::time::Instant::now();
+    let mut phase_table: Option<String> = None;
     let sched: Schedule = match algo.as_str() {
-        "pa" => PaScheduler::new(SchedulerConfig::default())
-            .schedule(&inst)
-            .map_err(|e| e.to_string())?,
-        "par" => PaRScheduler::new(SchedulerConfig {
-            time_budget: Duration::from_millis(budget_ms),
-            ..Default::default()
-        })
-        .schedule(&inst)
-        .map_err(|e| e.to_string())?,
+        "pa" => {
+            let r = PaScheduler::new(SchedulerConfig::default())
+                .schedule_detailed(&inst)
+                .map_err(|e| e.to_string())?;
+            if trace {
+                phase_table = Some(r.trace.render_table());
+            }
+            r.schedule
+        }
+        "par" => {
+            let par = PaRScheduler::new(SchedulerConfig {
+                time_budget: Duration::from_millis(budget_ms),
+                ..Default::default()
+            });
+            if threads > 1 {
+                par.schedule_parallel(&inst, threads)
+                    .map_err(|e| e.to_string())?
+            } else {
+                par.schedule(&inst).map_err(|e| e.to_string())?
+            }
+        }
         "is1" => IsKScheduler::new(IsKConfig::is1())
             .schedule(&inst)
             .map_err(|e| e.to_string())?,
@@ -171,6 +221,13 @@ fn schedule(args: &[String]) -> Result<(), String> {
         stats.num_reconfigurations,
         stats.reconf_busy,
     );
+    if algo == "par" && threads > 1 {
+        println!("(PA-R searched on {threads} threads)");
+    }
+    if let Some(table) = phase_table {
+        println!();
+        println!("{table}");
+    }
     if has(args, "--gantt") {
         println!();
         println!("{}", render_gantt(&inst, &sched, 100));

@@ -34,7 +34,11 @@ fn generate_schedule_validate_roundtrip() {
         .arg(&inst)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["schedule", "--algo", "pa", "--gantt", "--input"])
@@ -43,7 +47,11 @@ fn generate_schedule_validate_roundtrip() {
         .arg(&sched)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("makespan"));
     assert!(stdout.contains("icap"));
@@ -55,7 +63,11 @@ fn generate_schedule_validate_roundtrip() {
         .arg(&sched)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8(out.stdout).unwrap().contains("VALID"));
 
     let _ = std::fs::remove_file(&inst);
@@ -98,7 +110,14 @@ fn chain_topology_generation() {
     let inst = tmp("chain.json");
     let out = bin()
         .args([
-            "generate", "--tasks", "8", "--topology", "chain", "--cores", "1", "--out",
+            "generate",
+            "--tasks",
+            "8",
+            "--topology",
+            "chain",
+            "--cores",
+            "1",
+            "--out",
         ])
         .arg(&inst)
         .output()

@@ -65,10 +65,7 @@ impl CpmAnalysis {
             }
             t_min[v as usize] = es;
         }
-        let makespan = (0..n)
-            .map(|v| t_min[v] + durations[v])
-            .max()
-            .unwrap_or(0);
+        let makespan = (0..n).map(|v| t_min[v] + durations[v]).max().unwrap_or(0);
 
         // Backward pass: latest completion.
         let mut t_max = vec![makespan; n];
@@ -105,9 +102,11 @@ impl CpmAnalysis {
             .filter(|&v| {
                 self.critical[v as usize]
                     && self.windows[v as usize].min == 0
-                    && dag.preds(v).iter().all(|&p| !self.critical[p as usize]
-                        || self.windows[p as usize].min + durations[p as usize]
-                            != self.windows[v as usize].min)
+                    && dag.preds(v).iter().all(|&p| {
+                        !self.critical[p as usize]
+                            || self.windows[p as usize].min + durations[p as usize]
+                                != self.windows[v as usize].min
+                    })
             })
             .min()
         {

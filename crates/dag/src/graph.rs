@@ -103,7 +103,10 @@ impl Dag {
     /// Inserts `from -> to`, rejecting self-loops and cycles. Duplicate
     /// arcs are ignored and reported as `Ok`.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), CycleError> {
-        assert!((from as usize) < self.len() && (to as usize) < self.len(), "node out of range");
+        assert!(
+            (from as usize) < self.len() && (to as usize) < self.len(),
+            "node out of range"
+        );
         if from == to {
             return Err(CycleError { from, to });
         }

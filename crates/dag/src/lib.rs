@@ -25,5 +25,5 @@ pub mod levels;
 pub mod reach;
 
 pub use cpm::CpmAnalysis;
-pub use levels::LevelProfile;
 pub use graph::{CycleError, Dag, NodeId};
+pub use levels::LevelProfile;

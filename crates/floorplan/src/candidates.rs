@@ -108,7 +108,10 @@ mod tests {
         let rects = minimal_rects(&g, &demand);
         assert!(!rects.is_empty());
         for r in &rects {
-            assert!(demand.fits_in(&r.resources(&g)), "rect {r:?} must cover demand");
+            assert!(
+                demand.fits_in(&r.resources(&g)),
+                "rect {r:?} must cover demand"
+            );
         }
     }
 

@@ -21,7 +21,10 @@ pub struct Rect {
 impl Rect {
     /// Builds a rectangle; panics in debug builds on inverted bounds.
     pub fn new(col_start: u32, col_end: u32, row_start: u32, row_end: u32) -> Self {
-        debug_assert!(col_start < col_end && row_start < row_end, "degenerate rect");
+        debug_assert!(
+            col_start < col_end && row_start < row_end,
+            "degenerate rect"
+        );
         Rect {
             col_start,
             col_end,
@@ -59,7 +62,11 @@ impl Rect {
 
     /// Resources provided by this rectangle on `geometry`.
     pub fn resources(&self, geometry: &FabricGeometry) -> ResourceVec {
-        geometry.rect_resources(self.col_start as usize, self.col_end as usize, self.height())
+        geometry.rect_resources(
+            self.col_start as usize,
+            self.col_end as usize,
+            self.height(),
+        )
     }
 
     /// Bitmask of the rows covered (rows fit in a `u64` for every real

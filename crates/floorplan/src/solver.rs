@@ -106,22 +106,18 @@ impl Floorplanner {
         // whole column-segments of that kind, and segments are exclusive.
         // This necessary condition catches most over-subscribed region
         // sets instantly, long before the rectangle search would.
-        for kind in [prfpga_model::ResourceKind::Bram, prfpga_model::ResourceKind::Dsp] {
+        for kind in [
+            prfpga_model::ResourceKind::Bram,
+            prfpga_model::ResourceKind::Dsp,
+        ] {
             let per_segment = match kind {
                 prfpga_model::ResourceKind::Bram => 10u64,
                 prfpga_model::ResourceKind::Dsp => 20,
                 prfpga_model::ResourceKind::Clb => 50,
             };
-            let segments: u64 = geometry
-                .columns
-                .iter()
-                .filter(|c| c.kind() == kind)
-                .count() as u64
+            let segments: u64 = geometry.columns.iter().filter(|c| c.kind() == kind).count() as u64
                 * geometry.rows as u64;
-            let needed: u64 = demands
-                .iter()
-                .map(|d| d[kind].div_ceil(per_segment))
-                .sum();
+            let needed: u64 = demands.iter().map(|d| d[kind].div_ceil(per_segment)).sum();
             if needed > segments {
                 return FloorplanOutcome::Infeasible;
             }
@@ -153,9 +149,7 @@ impl Floorplanner {
             .enumerate()
             .map(|(i, d)| {
                 let mut cands = minimal_rects(geometry, d);
-                cands.sort_by_key(|r| {
-                    (specials_covered(r), r.area(), r.col_start, r.row_start)
-                });
+                cands.sort_by_key(|r| (specials_covered(r), r.area(), r.col_start, r.row_start));
                 cands.truncate(self.config.max_candidates_per_region);
                 (i, cands)
             })
@@ -201,16 +195,30 @@ impl Floorplanner {
         #[allow(clippy::type_complexity)]
         let greedy_orders: [&dyn Fn(&(usize, Vec<Rect>)) -> (u64, u64, usize); 3] = [
             // Most-constrained first (the DFS order).
-            &|(i, c)| (c.len() as u64, u64::MAX - c.first().map_or(0, Rect::area), *i),
+            &|(i, c)| {
+                (
+                    c.len() as u64,
+                    u64::MAX - c.first().map_or(0, Rect::area),
+                    *i,
+                )
+            },
             // Largest minimal footprint first (first-fit decreasing).
-            &|(i, c)| (u64::MAX - c.first().map_or(0, Rect::area), c.len() as u64, *i),
+            &|(i, c)| {
+                (
+                    u64::MAX - c.first().map_or(0, Rect::area),
+                    c.len() as u64,
+                    *i,
+                )
+            },
             // Scarce-resource regions first (fewest candidates), then by
             // leftmost candidate position to sweep the fabric.
-            &|(i, c)| (
-                c.len() as u64,
-                c.first().map_or(0, |r| r.col_start as u64),
-                *i,
-            ),
+            &|(i, c)| {
+                (
+                    c.len() as u64,
+                    c.first().map_or(0, |r| r.col_start as u64),
+                    *i,
+                )
+            },
         ];
         for key in greedy_orders {
             let mut order: Vec<&(usize, Vec<Rect>)> = regions.iter().collect();
@@ -354,7 +362,10 @@ mod tests {
 
     #[test]
     fn empty_demand_is_feasible() {
-        assert_eq!(planner().solve(&geom(), &[]), FloorplanOutcome::Feasible(vec![]));
+        assert_eq!(
+            planner().solve(&geom(), &[]),
+            FloorplanOutcome::Feasible(vec![])
+        );
     }
 
     #[test]

@@ -18,21 +18,17 @@ fn planner() -> Floorplanner {
 
 /// Strategy: a small random column-based fabric.
 fn arb_geometry() -> impl Strategy<Value = FabricGeometry> {
-    (
-        proptest::collection::vec(0u8..3, 1..10),
-        1u32..4,
-    )
-        .prop_map(|(cols, rows)| FabricGeometry {
-            columns: cols
-                .into_iter()
-                .map(|c| match c {
-                    0 => FabricColumn::Clb,
-                    1 => FabricColumn::Bram,
-                    _ => FabricColumn::Dsp,
-                })
-                .collect(),
-            rows,
-        })
+    (proptest::collection::vec(0u8..3, 1..10), 1u32..4).prop_map(|(cols, rows)| FabricGeometry {
+        columns: cols
+            .into_iter()
+            .map(|c| match c {
+                0 => FabricColumn::Clb,
+                1 => FabricColumn::Bram,
+                _ => FabricColumn::Dsp,
+            })
+            .collect(),
+        rows,
+    })
 }
 
 /// Strategy: a handful of region demands scaled to have a chance of

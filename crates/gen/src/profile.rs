@@ -115,10 +115,7 @@ impl ImplProfile {
 
         // Fastest hardware time: variants scale up from this.
         let sw_time = (base_time * slowdown / 100).max(1);
-        ids.push(pool.add(Implementation::software(
-            format!("{task_name}_sw"),
-            sw_time,
-        )));
+        ids.push(pool.add(Implementation::software(format!("{task_name}_sw"), sw_time)));
 
         // Hardware variants: index v in 0..k maps to a point on the
         // trade-off curve. v = 0 is the fastest and largest (think full
@@ -136,7 +133,7 @@ impl ImplProfile {
                 area_pct = area_pct * 10 / 17; // divide by 1.7
             }
             let jitter = |rng: &mut R, x: u64| -> u64 {
-                let j = rng.random_range(85..=115);
+                let j = rng.random_range(85u64..=115);
                 if x == 0 {
                     0
                 } else {
@@ -173,7 +170,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut pool = ImplPool::new();
         let profile = ImplProfile::default();
-        let ids = profile.generate_task_impls(&mut rng, &mut pool, "t0", TaskKind::Balanced, &cap());
+        let ids =
+            profile.generate_task_impls(&mut rng, &mut pool, "t0", TaskKind::Balanced, &cap());
         assert_eq!(ids.len(), 4);
         assert!(pool.get(ids[0]).is_software());
         for &id in &ids[1..] {
@@ -193,8 +191,13 @@ mod tests {
         const N: usize = 100;
         for i in 0..N {
             let mut pool = ImplPool::new();
-            let ids =
-                profile.generate_task_impls(&mut rng, &mut pool, &format!("t{i}"), TaskKind::Balanced, &cap());
+            let ids = profile.generate_task_impls(
+                &mut rng,
+                &mut pool,
+                &format!("t{i}"),
+                TaskKind::Balanced,
+                &cap(),
+            );
             let first = pool.get(ids[1]).clone();
             let last = pool.get(*ids.last().unwrap()).clone();
             if first.time <= last.time {
@@ -206,8 +209,14 @@ mod tests {
                 smaller_last += 1;
             }
         }
-        assert!(faster_first > N * 9 / 10, "fast variant usually fastest: {faster_first}");
-        assert!(smaller_last > N * 9 / 10, "small variant usually smallest: {smaller_last}");
+        assert!(
+            faster_first > N * 9 / 10,
+            "fast variant usually fastest: {faster_first}"
+        );
+        assert!(
+            smaller_last > N * 9 / 10,
+            "small variant usually smallest: {smaller_last}"
+        );
     }
 
     #[test]
@@ -216,8 +225,13 @@ mod tests {
         let profile = ImplProfile::default();
         for i in 0..50 {
             let mut pool = ImplPool::new();
-            let ids =
-                profile.generate_task_impls(&mut rng, &mut pool, &format!("t{i}"), TaskKind::Balanced, &cap());
+            let ids = profile.generate_task_impls(
+                &mut rng,
+                &mut pool,
+                &format!("t{i}"),
+                TaskKind::Balanced,
+                &cap(),
+            );
             let sw = pool.get(ids[0]).time;
             for &id in &ids[1..] {
                 assert!(pool.get(id).time < sw, "hardware beats software");
@@ -234,11 +248,27 @@ mod tests {
         for i in 0..50 {
             let mut pool = ImplPool::new();
             let a = profile.generate_task_impls(
-                &mut rng, &mut pool, &format!("a{i}"), TaskKind::ArithmeticHeavy, &cap());
+                &mut rng,
+                &mut pool,
+                &format!("a{i}"),
+                TaskKind::ArithmeticHeavy,
+                &cap(),
+            );
             let l = profile.generate_task_impls(
-                &mut rng, &mut pool, &format!("l{i}"), TaskKind::LogicHeavy, &cap());
-            dsp_total_arith += pool.get(a[1]).resources().get(prfpga_model::ResourceKind::Dsp);
-            dsp_total_logic += pool.get(l[1]).resources().get(prfpga_model::ResourceKind::Dsp);
+                &mut rng,
+                &mut pool,
+                &format!("l{i}"),
+                TaskKind::LogicHeavy,
+                &cap(),
+            );
+            dsp_total_arith += pool
+                .get(a[1])
+                .resources()
+                .get(prfpga_model::ResourceKind::Dsp);
+            dsp_total_logic += pool
+                .get(l[1])
+                .resources()
+                .get(prfpga_model::ResourceKind::Dsp);
         }
         assert!(
             dsp_total_arith > dsp_total_logic * 2,
@@ -254,8 +284,8 @@ mod tests {
         for i in 0..100 {
             let mut pool = ImplPool::new();
             for kind in TaskKind::ALL {
-                let ids = profile.generate_task_impls(
-                    &mut rng, &mut pool, &format!("t{i}"), kind, &cap);
+                let ids =
+                    profile.generate_task_impls(&mut rng, &mut pool, &format!("t{i}"), kind, &cap);
                 for &id in &ids[1..] {
                     assert!(pool.get(id).resources().fits_in(&cap));
                 }

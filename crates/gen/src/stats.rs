@@ -50,11 +50,7 @@ pub fn instance_stats(inst: &ProblemInstance) -> InstanceStats {
         let sw = inst.impls.get(inst.fastest_sw_impl(t)).time;
         sw_sum += sw as u128;
         sw_n += 1;
-        if let Some(best_hw) = inst
-            .hw_impls(t)
-            .map(|i| inst.impls.get(i).time)
-            .min()
-        {
+        if let Some(best_hw) = inst.hw_impls(t).map(|i| inst.impls.get(i).time).min() {
             hw_sum += best_hw as u128;
             hw_n += 1;
         }
@@ -66,8 +62,16 @@ pub fn instance_stats(inst: &ProblemInstance) -> InstanceStats {
             min_clb_sum += min_clb;
         }
     }
-    let mean_sw_time = if sw_n == 0 { 0 } else { (sw_sum / sw_n as u128) as Time };
-    let mean_hw_time = if hw_n == 0 { 0 } else { (hw_sum / hw_n as u128) as Time };
+    let mean_sw_time = if sw_n == 0 {
+        0
+    } else {
+        (sw_sum / sw_n as u128) as Time
+    };
+    let mean_hw_time = if hw_n == 0 {
+        0
+    } else {
+        (hw_sum / hw_n as u128) as Time
+    };
     let sw_slowdown_x100 = if mean_hw_time == 0 {
         0
     } else {

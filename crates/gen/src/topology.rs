@@ -105,7 +105,7 @@ impl TaskGraphGenerator {
             let kind = TaskKind::sample(&mut rng);
             let kind_idx = TaskKind::ALL.iter().position(|&k| k == kind).unwrap();
             let reuse = !by_kind[kind_idx].is_empty()
-                && rng.random_range(0..100) < config.impl_profile.share_impl_pct;
+                && rng.random_range(0u64..100) < config.impl_profile.share_impl_pct;
             let impls = if reuse {
                 let pick = rng.random_range(0..by_kind[kind_idx].len());
                 by_kind[kind_idx][pick].clone()
@@ -336,7 +336,8 @@ mod tests {
     fn module_sharing_occurs() {
         // With 100 tasks at 15% share probability, some tasks must share
         // implementation sets.
-        let inst = TaskGraphGenerator::new(3).generate("share", &GraphConfig::standard(100), arch());
+        let inst =
+            TaskGraphGenerator::new(3).generate("share", &GraphConfig::standard(100), arch());
         let mut seen = std::collections::HashSet::new();
         let mut shared = false;
         for t in &inst.graph.tasks {

@@ -297,7 +297,10 @@ mod tests {
         let d20 = Device::xc7z020();
         assert_eq!(d20.max_res, ResourceVec::new(13_200, 150, 240));
         assert_eq!(Device::xc7z010().max_res, ResourceVec::new(4_400, 60, 80));
-        assert_eq!(Device::xc7z045().max_res, ResourceVec::new(54_600, 560, 840));
+        assert_eq!(
+            Device::xc7z045().max_res,
+            ResourceVec::new(54_600, 560, 840)
+        );
     }
 
     #[test]

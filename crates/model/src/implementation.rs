@@ -144,7 +144,11 @@ mod tests {
     fn pool_ids_are_stable() {
         let mut pool = ImplPool::new();
         let a = pool.add(Implementation::software("sw", 100));
-        let b = pool.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 1, 0)));
+        let b = pool.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 1, 0),
+        ));
         assert_eq!(a, ImplId(0));
         assert_eq!(b, ImplId(1));
         assert_eq!(pool.len(), 2);

@@ -57,10 +57,13 @@ impl ProblemInstance {
         for (ti, task) in self.graph.tasks.iter().enumerate() {
             let mut has_sw = false;
             for &iid in &task.impls {
-                let imp = self.impls.try_get(iid).ok_or(ModelError::UnknownImplementation {
-                    task: ti as u32,
-                    impl_id: iid.0,
-                })?;
+                let imp = self
+                    .impls
+                    .try_get(iid)
+                    .ok_or(ModelError::UnknownImplementation {
+                        task: ti as u32,
+                        impl_id: iid.0,
+                    })?;
                 if imp.is_software() {
                     has_sw = true;
                 } else if !imp.resources().fits_in(&cap) {
@@ -79,12 +82,22 @@ impl ProblemInstance {
 
     /// Hardware implementations of a task (`I_t^H`).
     pub fn hw_impls(&self, t: TaskId) -> impl Iterator<Item = ImplId> + '_ {
-        self.graph.task(t).impls.iter().copied().filter(|&i| self.impls.get(i).is_hardware())
+        self.graph
+            .task(t)
+            .impls
+            .iter()
+            .copied()
+            .filter(|&i| self.impls.get(i).is_hardware())
     }
 
     /// Software implementations of a task (`I_t^S`).
     pub fn sw_impls(&self, t: TaskId) -> impl Iterator<Item = ImplId> + '_ {
-        self.graph.task(t).impls.iter().copied().filter(|&i| self.impls.get(i).is_software())
+        self.graph
+            .task(t)
+            .impls
+            .iter()
+            .copied()
+            .filter(|&i| self.impls.get(i).is_software())
     }
 
     /// The fastest software implementation of a task; always present in a
@@ -131,7 +144,11 @@ mod tests {
     fn tiny_instance() -> ProblemInstance {
         let mut impls = ImplPool::new();
         let sw_a = impls.add(Implementation::software("a_sw", 100));
-        let hw_a = impls.add(Implementation::hardware("a_hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw_a = impls.add(Implementation::hardware(
+            "a_hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let sw_b = impls.add(Implementation::software("b_sw", 80));
         let mut g = TaskGraph::new();
         let a = g.add_task("a", vec![sw_a, hw_a]);
@@ -166,7 +183,11 @@ mod tests {
     #[test]
     fn rejects_missing_sw_impl() {
         let mut impls = ImplPool::new();
-        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw = impls.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         g.add_task("a", vec![hw]);
         let err = ProblemInstance::new(
@@ -176,14 +197,21 @@ mod tests {
             impls,
         )
         .unwrap_err();
-        assert!(matches!(err, ModelError::NoSoftwareImplementation { task: 0 }));
+        assert!(matches!(
+            err,
+            ModelError::NoSoftwareImplementation { task: 0 }
+        ));
     }
 
     #[test]
     fn rejects_oversized_hw_impl() {
         let mut impls = ImplPool::new();
         let sw = impls.add(Implementation::software("sw", 10));
-        let hw = impls.add(Implementation::hardware("hw", 1, ResourceVec::new(999, 0, 0)));
+        let hw = impls.add(Implementation::hardware(
+            "hw",
+            1,
+            ResourceVec::new(999, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         g.add_task("a", vec![sw, hw]);
         let err = ProblemInstance::new(
@@ -209,7 +237,10 @@ mod tests {
             impls,
         )
         .unwrap_err();
-        assert!(matches!(err, ModelError::UnknownImplementation { impl_id: 5, .. }));
+        assert!(matches!(
+            err,
+            ModelError::UnknownImplementation { impl_id: 5, .. }
+        ));
     }
 
     #[test]

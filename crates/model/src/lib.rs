@@ -39,8 +39,6 @@ pub use error::ModelError;
 pub use implementation::{ImplId, ImplKind, ImplPool, Implementation};
 pub use instance::ProblemInstance;
 pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};
-pub use schedule::{
-    Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment,
-};
+pub use schedule::{Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment};
 pub use taskgraph::{EdgeId, TaskGraph, TaskId, TaskNode};
 pub use time::{Time, TimeWindow};

@@ -286,7 +286,10 @@ mod tests {
         let b = ResourceVec::new(2, 3, 0);
         assert_eq!(a + b, ResourceVec::new(7, 6, 1));
         assert_eq!(a - b, ResourceVec::new(3, 0, 1));
-        assert_eq!(a.saturating_sub(&ResourceVec::new(10, 10, 10)), ResourceVec::ZERO);
+        assert_eq!(
+            a.saturating_sub(&ResourceVec::new(10, 10, 10)),
+            ResourceVec::ZERO
+        );
         assert_eq!(a.scale(3), ResourceVec::new(15, 9, 3));
         assert_eq!(a.max(&b), ResourceVec::new(5, 3, 1));
         let s: ResourceVec = [a, b].into_iter().sum();
@@ -297,7 +300,11 @@ mod tests {
     fn scale_frac_floor_keeps_nonzero() {
         let v = ResourceVec::new(100, 1, 0);
         let s = v.scale_frac_floor(9, 10);
-        assert_eq!(s, ResourceVec::new(90, 1, 0), "non-zero axes stay >= 1, zero stays 0");
+        assert_eq!(
+            s,
+            ResourceVec::new(90, 1, 0),
+            "non-zero axes stay >= 1, zero stays 0"
+        );
         let tiny = ResourceVec::new(1, 1, 1).scale_frac_floor(1, 100);
         assert_eq!(tiny, ResourceVec::new(1, 1, 1));
     }
@@ -311,7 +318,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(ResourceVec::new(1, 2, 3).to_string(), "{CLB: 1, BRAM: 2, DSP: 3}");
+        assert_eq!(
+            ResourceVec::new(1, 2, 3).to_string(),
+            "{CLB: 1, BRAM: 2, DSP: 3}"
+        );
         assert_eq!(ResourceKind::Bram.to_string(), "BRAM");
     }
 }

@@ -117,7 +117,12 @@ impl Schedule {
     /// valid schedule, but we take the max defensively).
     pub fn makespan(&self) -> Time {
         let t = self.assignments.iter().map(|a| a.end).max().unwrap_or(0);
-        let r = self.reconfigurations.iter().map(|r| r.end).max().unwrap_or(0);
+        let r = self
+            .reconfigurations
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(0);
         t.max(r)
     }
 

@@ -1,6 +1,7 @@
 //! The deterministic PA scheduler driver: pipeline + feasibility loop
 //! (§V, §V-H).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use prfpga_floorplan::{FloorplanOutcome, Floorplanner, Rect};
@@ -8,9 +9,9 @@ use prfpga_model::{Device, ProblemInstance, ResourceVec, Schedule};
 
 use crate::config::{OrderingPolicy, SchedulerConfig};
 use crate::error::SchedError;
-use crate::metrics::MetricWeights;
 use crate::phases::{impl_select, reconf, regions, sw_balance, sw_map};
 use crate::state::SchedState;
+use crate::trace::{ObserverHandle, Phase, PhaseTrace, TraceRecorder};
 
 /// Result of a PA run, with the timing split reported in the paper's
 /// Table I (scheduling time vs floorplanning time).
@@ -29,6 +30,10 @@ pub struct PaResult {
     /// Witness placement for the final region set (empty when the device
     /// carries no geometry).
     pub floorplan: Vec<Rect>,
+    /// Per-phase wall-clock and structural counters, summed over restarts
+    /// (phase H's time equals `floorplanning_time`; the scheduling phases
+    /// account for `scheduling_time` minus loop scaffolding).
+    pub trace: PhaseTrace,
 }
 
 /// The deterministic scheduler (*PA*).
@@ -64,16 +69,27 @@ impl PaScheduler {
         let mut virtual_device = real_device.clone();
         let mut scheduling_time = Duration::ZERO;
         let mut floorplanning_time = Duration::ZERO;
+        let recorder = Arc::new(TraceRecorder::new());
+        let observer = ObserverHandle::new(recorder.clone());
 
         for attempt in 1..=self.config.max_attempts.max(1) {
+            observer.pipeline_started(attempt);
             let t0 = Instant::now();
-            let schedule = do_schedule(inst, &virtual_device, &self.config, self.config.ordering);
+            let schedule = do_schedule_traced(
+                inst,
+                &virtual_device,
+                &self.config,
+                self.config.ordering,
+                &observer,
+            );
             scheduling_time += t0.elapsed();
 
             let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
             let t1 = Instant::now();
             let outcome = planner.check_device(real_device, &demands);
-            floorplanning_time += t1.elapsed();
+            let fp_elapsed = t1.elapsed();
+            floorplanning_time += fp_elapsed;
+            observer.phase_finished(Phase::Floorplan, fp_elapsed);
 
             if let FloorplanOutcome::Feasible(rects) = outcome {
                 return Ok(PaResult {
@@ -82,6 +98,7 @@ impl PaScheduler {
                     floorplanning_time,
                     attempts: attempt,
                     floorplan: rects,
+                    trace: recorder.snapshot(),
                 });
             }
             let (num, den) = self.config.shrink_factor;
@@ -90,40 +107,70 @@ impl PaScheduler {
 
         // All-software fallback: zero virtual capacity forces every task to
         // software; no regions, trivially feasible.
+        let attempts = self.config.max_attempts.max(1) + 1;
+        observer.pipeline_started(attempts);
         let t0 = Instant::now();
         let zero_device = Device {
             max_res: ResourceVec::ZERO,
             ..real_device.clone()
         };
-        let schedule = do_schedule(inst, &zero_device, &self.config, self.config.ordering);
+        let schedule = do_schedule_traced(
+            inst,
+            &zero_device,
+            &self.config,
+            self.config.ordering,
+            &observer,
+        );
         scheduling_time += t0.elapsed();
         debug_assert!(schedule.regions.is_empty());
         Ok(PaResult {
             schedule,
             scheduling_time,
             floorplanning_time,
-            attempts: self.config.max_attempts.max(1) + 1,
+            attempts,
             floorplan: vec![],
+            trace: recorder.snapshot(),
         })
     }
 }
 
 /// One run of the scheduling pipeline (phases A–G) against a virtual
 /// device capacity; shared by PA and PA-R (`doSchedule` in Algorithm 1).
+/// Untraced: phase events go to the no-op observer.
 pub(crate) fn do_schedule(
     inst: &ProblemInstance,
     virtual_device: &Device,
     config: &SchedulerConfig,
     ordering: OrderingPolicy,
 ) -> Schedule {
+    do_schedule_traced(
+        inst,
+        virtual_device,
+        config,
+        ordering,
+        &ObserverHandle::noop(),
+    )
+}
+
+/// [`do_schedule`] with phase events reported to `observer`.
+pub(crate) fn do_schedule_traced(
+    inst: &ProblemInstance,
+    virtual_device: &Device,
+    config: &SchedulerConfig,
+    ordering: OrderingPolicy,
+    observer: &ObserverHandle,
+) -> Schedule {
     // Phase A — implementation selection.
-    let weights = MetricWeights::new(&virtual_device.max_res, impl_select::max_t(inst));
-    let choice = impl_select::select_implementations(inst, &weights, config.cost_policy);
+    let (weights, choice) =
+        impl_select::run_phase(inst, virtual_device, config.cost_policy, observer);
 
     // Phase B — critical path extraction (CPM inside the state).
+    let t0 = Instant::now();
     let mut state = SchedState::new(inst, virtual_device.clone(), weights, choice)
         .expect("instance validated by the driver");
+    observer.phase_finished(Phase::CriticalPath, t0.elapsed());
     state.module_reuse = config.module_reuse;
+    state.observer = observer.clone();
 
     // Phase C — regions definition.
     regions::define_regions(&mut state, ordering);
@@ -253,15 +300,67 @@ mod tests {
         // duration fields must exist and the sum be nonzero).
         assert!(r.scheduling_time + r.floorplanning_time > Duration::ZERO);
     }
+
+    #[test]
+    fn trace_covers_scheduling_time() {
+        // The per-phase timings must account for (nearly) all of the
+        // driver-measured scheduling time: only loop scaffolding (a clone
+        // of the device, the observer bookkeeping itself) sits between the
+        // two clocks. 95% is the acceptance bar; large instances keep the
+        // fixed overhead negligible even in debug builds.
+        let inst = TaskGraphGenerator::new(21).generate(
+            "trace",
+            &GraphConfig::standard(60),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let r = pa.schedule_detailed(&inst).unwrap();
+        let traced = r.trace.scheduling_phase_time();
+        assert!(
+            traced <= r.scheduling_time,
+            "phases are timed inside the driver's clock"
+        );
+        assert!(
+            traced.as_secs_f64() >= 0.95 * r.scheduling_time.as_secs_f64(),
+            "phase timings ({traced:?}) must cover >=95% of scheduling_time ({:?})",
+            r.scheduling_time
+        );
+    }
+
+    #[test]
+    fn trace_counters_match_schedule() {
+        let inst = TaskGraphGenerator::new(8).generate(
+            "tracecnt",
+            &GraphConfig::standard(40),
+            Architecture::zedboard(),
+        );
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let r = pa.schedule_detailed(&inst).unwrap();
+        let t = &r.trace;
+        assert_eq!(t.attempts, r.attempts);
+        assert_eq!(t.regions, r.schedule.regions.len());
+        assert_eq!(t.reconfigurations, r.schedule.reconfigurations.len());
+        assert_eq!(t.sw_tasks + t.hw_tasks, inst.graph.len());
+        // Balancing may hoist tasks after regions definition, so the final
+        // schedule can only have MORE hardware tasks than phase C reported.
+        assert!(r.schedule.hardware_task_count() >= t.hw_tasks);
+        assert_eq!(
+            r.schedule.hardware_task_count(),
+            t.hw_tasks + t.balance_moves
+        );
+        // Every scheduling phase ran once per attempt; floorplanning runs
+        // once per non-fallback attempt.
+        use crate::trace::Phase;
+        assert_eq!(t.phase_runs[Phase::Regions.index()] as usize, r.attempts);
+        assert_eq!(t.time(Phase::Floorplan), r.floorplanning_time);
+    }
 }
 
 #[cfg(test)]
 mod module_reuse_tests {
     use super::*;
     use crate::config::SchedulerConfig;
-    use prfpga_model::{
-        Architecture, Device, ImplPool, Implementation, ResourceVec, TaskGraph,
-    };
+    use prfpga_model::{Architecture, Device, ImplPool, Implementation, ResourceVec, TaskGraph};
     use prfpga_sim::validate_schedule;
 
     /// A chain of three tasks sharing one hardware implementation on a

@@ -35,6 +35,8 @@ mod tests {
     #[test]
     fn display() {
         assert!(SchedError::CyclicTaskGraph.to_string().contains("cycle"));
-        assert!(SchedError::InvalidInstance("x".into()).to_string().contains('x'));
+        assert!(SchedError::InvalidInstance("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

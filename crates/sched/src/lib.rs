@@ -43,8 +43,10 @@ pub mod metrics;
 pub mod phases;
 pub mod randomized;
 pub mod state;
+pub mod trace;
 
 pub use config::{CostPolicy, OrderingPolicy, SchedulerConfig};
 pub use driver::{PaResult, PaScheduler};
 pub use error::SchedError;
 pub use randomized::{PaRResult, PaRScheduler};
+pub use trace::{ObserverHandle, Phase, PhaseObserver, PhaseTrace, TraceRecorder};

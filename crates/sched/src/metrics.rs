@@ -184,6 +184,49 @@ mod tests {
     }
 
     #[test]
+    fn absent_resource_kind_gets_maximum_weight() {
+        // Device with no DSPs at all: eq. 4 gives the absent kind weight
+        // 1 - 0/total = 1, the maximum — demanding a resource the device
+        // lacks must be the most expensive thing an implementation can do,
+        // never free.
+        let w = MetricWeights::new(&ResourceVec::new(1000, 200, 0), 10_000);
+        assert_eq!(w.weight_ppm[2], 1_000_000);
+        // Same raw unit count, but spent on the absent kind, costs more.
+        let present = w.cost_micro(&ResourceVec::new(0, 10, 0), 0, CostPolicy::ResourceOnly);
+        let absent = w.cost_micro(&ResourceVec::new(0, 0, 10), 0, CostPolicy::ResourceOnly);
+        assert!(absent > present);
+        assert!(absent > 0);
+        // Efficiency of a DSP-only demand stays finite (denominator > 0).
+        let eff = w.efficiency_micro(&ResourceVec::new(0, 0, 10), 100);
+        assert!(eff > 0 && eff < u128::MAX / 4);
+    }
+
+    #[test]
+    fn ppm_arithmetic_has_headroom_at_extreme_magnitudes() {
+        // Largest capacity whose kind-sum still fits in u64 (total() would
+        // overflow beyond that), paired with the full u64 time horizon.
+        // Every intermediate ppm product must stay inside u128: the
+        // weighted capacity is ~2^62 * 10^6 * 3 ~= 2^83, times the 10^6
+        // cost scaling ~= 2^103, and the efficiency path peaks at
+        // Time::MAX * 10^12 ~= 2^104 — both far below u128::MAX (~2^128).
+        // In debug builds any overflow would panic, so arriving at the
+        // exact expected values proves the headroom.
+        let cap = u64::MAX / 4;
+        let max_res = ResourceVec::new(cap, cap, cap);
+        let w = MetricWeights::new(&max_res, Time::MAX);
+
+        // Full-device demand at the full horizon: both eq. 3 terms are
+        // exactly 1.0, i.e. 1e6 ppm each.
+        let cost = w.cost_micro(&max_res, Time::MAX, CostPolicy::Full);
+        assert_eq!(cost, 2_000_000);
+
+        let eff = w.efficiency_micro(&max_res, Time::MAX);
+        assert!(eff > 0 && eff < u128::MAX / 4);
+        // Efficiency still discriminates at this scale.
+        assert!(w.efficiency_micro(&max_res, Time::MAX / 2) < eff);
+    }
+
+    #[test]
     fn zero_horizon_guard() {
         let w = MetricWeights::new(&ResourceVec::new(10, 10, 10), 0);
         // No division by zero; time term collapses to 0.

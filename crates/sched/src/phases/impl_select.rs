@@ -6,10 +6,13 @@
 //! the fastest software candidate `i_S`, then select whichever of the two
 //! executes faster.
 
-use prfpga_model::{ImplId, ProblemInstance, Time};
+use std::time::Instant;
+
+use prfpga_model::{Device, ImplId, ProblemInstance, Time};
 
 use crate::config::CostPolicy;
 use crate::metrics::MetricWeights;
+use crate::trace::{ObserverHandle, Phase};
 
 /// Computes `maxT` (eq. 4): the sum over tasks of their fastest
 /// implementation time — the all-serial lower-bound horizon used to
@@ -29,6 +32,22 @@ pub fn max_t(inst: &ProblemInstance) -> Time {
         .sum()
 }
 
+/// Phase A as the driver runs it: derives the metric weights (eq. 4) for
+/// the (possibly shrunk) device capacity, selects implementations, and
+/// reports the phase wall-clock to `observer`.
+pub fn run_phase(
+    inst: &ProblemInstance,
+    device: &Device,
+    policy: CostPolicy,
+    observer: &ObserverHandle,
+) -> (MetricWeights, Vec<ImplId>) {
+    let t0 = Instant::now();
+    let weights = MetricWeights::new(&device.max_res, max_t(inst));
+    let choice = select_implementations(inst, &weights, policy);
+    observer.phase_finished(Phase::ImplSelect, t0.elapsed());
+    (weights, choice)
+}
+
 /// Runs implementation selection, returning the chosen implementation per
 /// task.
 pub fn select_implementations(
@@ -40,12 +59,10 @@ pub fn select_implementations(
         .task_ids()
         .map(|t| {
             // Cheapest hardware implementation by eq. 3 (ties: lower id).
-            let best_hw = inst
-                .hw_impls(t)
-                .min_by_key(|&i| {
-                    let imp = inst.impls.get(i);
-                    (weights.cost_micro(&imp.resources(), imp.time, policy), i)
-                });
+            let best_hw = inst.hw_impls(t).min_by_key(|&i| {
+                let imp = inst.impls.get(i);
+                (weights.cost_micro(&imp.resources(), imp.time, policy), i)
+            });
             // Fastest software implementation (always present).
             let best_sw = inst.fastest_sw_impl(t);
             match best_hw {
@@ -59,9 +76,7 @@ pub fn select_implementations(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prfpga_model::{
-        Architecture, Device, ImplPool, Implementation, ResourceVec, TaskGraph,
-    };
+    use prfpga_model::{Architecture, Device, ImplPool, Implementation, ResourceVec, TaskGraph};
 
     fn build(impl_sets: Vec<Vec<Implementation>>) -> ProblemInstance {
         let mut pool = ImplPool::new();

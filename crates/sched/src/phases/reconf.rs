@@ -18,6 +18,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use prfpga_dag::CpmAnalysis;
 use prfpga_model::{
@@ -25,6 +26,7 @@ use prfpga_model::{
 };
 
 use crate::state::SchedState;
+use crate::trace::Phase;
 
 /// One planned reconfiguration before timing.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,7 @@ struct PlannedRec {
 /// consecutive tasks of a region that share an implementation need no
 /// reconfiguration between them.
 pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule {
+    let t0 = Instant::now();
     let n = state.inst.graph.len();
 
     // Criticality of the fully-sequenced graph decides reconfiguration
@@ -78,10 +81,11 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
     for r in &planned {
         durations.push(r.duration);
     }
-    let add = |succs: &mut Vec<Vec<(u32, Time)>>, pend: &mut Vec<u32>, a: usize, b: usize, lag: Time| {
-        succs[a].push((b as u32, lag));
-        pend[b] += 1;
-    };
+    let add =
+        |succs: &mut Vec<Vec<(u32, Time)>>, pend: &mut Vec<u32>, a: usize, b: usize, lag: Time| {
+            succs[a].push((b as u32, lag));
+            pend[b] += 1;
+        };
     // All dag arcs (data + sequencing) at zero lag...
     for v in 0..n as u32 {
         for &u in state.dag.succs(v) {
@@ -138,8 +142,15 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
             done_time[vi] = start[vi] + durations[vi];
             scheduled += 1;
             relax(
-                vi, done_time[vi], &succs, &mut pend, &mut start, &mut task_queue,
-                &mut icap_ready, &planned, n,
+                vi,
+                done_time[vi],
+                &succs,
+                &mut pend,
+                &mut start,
+                &mut task_queue,
+                &mut icap_ready,
+                &planned,
+                n,
             );
             continue;
         }
@@ -154,8 +165,15 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
             icap_free[ctrl] = done_time[node];
             scheduled += 1;
             relax(
-                node, done_time[node], &succs, &mut pend, &mut start, &mut task_queue,
-                &mut icap_ready, &planned, n,
+                node,
+                done_time[node],
+                &succs,
+                &mut pend,
+                &mut start,
+                &mut task_queue,
+                &mut icap_ready,
+                &planned,
+                n,
             );
             continue;
         }
@@ -172,9 +190,9 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
         .map(|i| {
             let placement = match state.region_of[i] {
                 Some(s) => Placement::Region(RegionId(s as u32)),
-                None => Placement::Core(
-                    state.core_of[i].expect("software tasks mapped in phase F"),
-                ),
+                None => {
+                    Placement::Core(state.core_of[i].expect("software tasks mapped in phase F"))
+                }
             };
             TaskAssignment {
                 impl_id: state.impl_choice[i],
@@ -196,11 +214,16 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
         })
         .collect();
 
-    Schedule {
+    let schedule = Schedule {
         regions,
         assignments,
         reconfigurations,
-    }
+    };
+    state
+        .observer
+        .reconfigurations_planned(schedule.reconfigurations.len());
+    state.observer.phase_finished(Phase::Reconf, t0.elapsed());
+    schedule
 }
 
 /// Marks `node` finished at `fin`; releases successors whose predecessors
@@ -248,10 +271,18 @@ mod tests {
         let mut pool = ImplPool::new();
         let mut g = TaskGraph::new();
         let sa = pool.add(Implementation::software("sa", 1000));
-        let ha = pool.add(Implementation::hardware("ha", 10, ResourceVec::new(5, 0, 0)));
+        let ha = pool.add(Implementation::hardware(
+            "ha",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let ta = g.add_task("a", vec![sa, ha]);
         let sb = pool.add(Implementation::software("sb", 1000));
-        let hb = pool.add(Implementation::hardware("hb", 12, ResourceVec::new(4, 0, 0)));
+        let hb = pool.add(Implementation::hardware(
+            "hb",
+            12,
+            ResourceVec::new(4, 0, 0),
+        ));
         let tb = g.add_task("b", vec![sb, hb]);
         g.add_edge(ta, tb);
         let inst = ProblemInstance::new(
@@ -306,8 +337,7 @@ mod tests {
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
         let choice = vec![ImplId(1), ImplId(3)];
-        let mut st =
-            SchedState::new(&inst, inst.architecture.device.clone(), w, choice).unwrap();
+        let mut st = SchedState::new(&inst, inst.architecture.device.clone(), w, choice).unwrap();
         st.open_region(TaskId(0), ImplId(1));
         st.open_region(TaskId(1), ImplId(3));
         let sched = realize_schedule(&st, false);
@@ -346,13 +376,8 @@ mod tests {
         )
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
-        let mut st = SchedState::new(
-            &inst,
-            inst.architecture.device.clone(),
-            w,
-            ids.clone(),
-        )
-        .unwrap();
+        let mut st =
+            SchedState::new(&inst, inst.architecture.device.clone(), w, ids.clone()).unwrap();
         st.open_region(TaskId(0), ids[0]);
         st.assign_to_region(TaskId(1), ids[1], 0);
         st.open_region(TaskId(2), ids[2]);
@@ -381,8 +406,7 @@ mod tests {
         )
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
-        let mut st =
-            SchedState::new(&inst, inst.architecture.device.clone(), w, vec![s0]).unwrap();
+        let mut st = SchedState::new(&inst, inst.architecture.device.clone(), w, vec![s0]).unwrap();
         st.core_of[0] = Some(0);
         let sched = realize_schedule(&st, false);
         assert_eq!(sched.assignments[0].placement, Placement::Core(0));

@@ -7,11 +7,14 @@
 //! non-critical pass. Tasks that cannot be hosted anywhere fall back to
 //! their fastest software implementation.
 
+use std::time::Instant;
+
 use prfpga_dag::reach;
 use prfpga_model::{TaskId, TimeWindow};
 
 use crate::config::OrderingPolicy;
 use crate::state::SchedState;
+use crate::trace::Phase;
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -20,6 +23,7 @@ use rand_chacha::ChaCha8Rng;
 /// Runs regions definition on `state` (after implementation selection and
 /// the initial CPM pass).
 pub fn define_regions(state: &mut SchedState<'_>, ordering: OrderingPolicy) {
+    let t0 = Instant::now();
     // Snapshot criticality and efficiency under the *initial* windows; the
     // paper fixes the processing order once.
     let hw_tasks: Vec<TaskId> = state
@@ -70,6 +74,12 @@ pub fn define_regions(state: &mut SchedState<'_>, ordering: OrderingPolicy) {
     for t in non_critical {
         place_non_critical(state, t);
     }
+
+    let hw = state.region_of.iter().filter(|r| r.is_some()).count();
+    state
+        .observer
+        .regions_defined(state.regions.len(), hw, state.inst.graph.len() - hw);
+    state.observer.phase_finished(Phase::Regions, t0.elapsed());
 }
 
 /// §V-C critical-task rule: reuse the smallest-bitstream compatible region,
@@ -185,12 +195,14 @@ pub(crate) fn region_eligible(
             return None;
         }
     }
-    if require_reconf_gap && !(state.module_reuse && {
-        let pos = state.insertion_pos(s, w_min);
-        pos.checked_sub(1)
-            .map(|i| region.tasks[i])
-            .is_some_and(|prev| state.impl_choice[prev.index()] == imp)
-    }) {
+    if require_reconf_gap
+        && !(state.module_reuse && {
+            let pos = state.insertion_pos(s, w_min);
+            pos.checked_sub(1)
+                .map(|i| region.tasks[i])
+                .is_some_and(|prev| state.impl_choice[prev.index()] == imp)
+        })
+    {
         let has_time_pred = region
             .tasks
             .iter()
@@ -266,8 +278,7 @@ mod tests {
 
     fn run(inst: &ProblemInstance, choice: Vec<prfpga_model::ImplId>) -> SchedState<'_> {
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(inst));
-        let mut st =
-            SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap();
+        let mut st = SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap();
         define_regions(&mut st, OrderingPolicy::EfficiencyIndex);
         st
     }

@@ -11,13 +11,17 @@
 //! * some region can host it without window overlap (and without creating
 //!   a dependency cycle through the sequencing arcs).
 
+use std::time::Instant;
+
 use prfpga_model::TaskId;
 
 use crate::state::SchedState;
+use crate::trace::Phase;
 
 /// Runs software task balancing; returns the number of tasks hoisted back
 /// to hardware.
 pub fn balance_software_tasks(state: &mut SchedState<'_>) -> usize {
+    let t0 = Instant::now();
     let mut hoisted = 0;
     loop {
         // Candidates: software tasks with hardware implementations,
@@ -45,6 +49,10 @@ pub fn balance_software_tasks(state: &mut SchedState<'_>) -> usize {
             }
         }
         if !moved {
+            state.observer.tasks_hoisted(hoisted);
+            state
+                .observer
+                .phase_finished(Phase::SwBalance, t0.elapsed());
             return hoisted;
         }
     }
@@ -60,7 +68,14 @@ fn best_hosting(state: &SchedState<'_>, t: TaskId) -> Option<(usize, prfpga_mode
         let imp = state
             .inst
             .hw_impls(t)
-            .filter(|&i| state.inst.impls.get(i).resources().fits_in(&state.regions[s].res))
+            .filter(|&i| {
+                state
+                    .inst
+                    .impls
+                    .get(i)
+                    .resources()
+                    .fits_in(&state.regions[s].res)
+            })
             .min_by_key(|&i| {
                 let im = state.inst.impls.get(i);
                 (
@@ -135,12 +150,20 @@ mod tests {
         let mut pool = ImplPool::new();
         let mut g = TaskGraph::new();
         let s0 = pool.add(Implementation::software("s0", 900));
-        let h0 = pool.add(Implementation::hardware("h0", 10, ResourceVec::new(5, 0, 0)));
+        let h0 = pool.add(Implementation::hardware(
+            "h0",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let t0 = g.add_task("t0", vec![s0, h0]);
         let s2 = pool.add(Implementation::software("s2", 500));
         let t2 = g.add_task("t2", vec![s2]);
         let s1 = pool.add(Implementation::software("s1", 300));
-        let h1 = pool.add(Implementation::hardware("h1", 40, ResourceVec::new(4, 0, 0)));
+        let h1 = pool.add(Implementation::hardware(
+            "h1",
+            40,
+            ResourceVec::new(4, 0, 0),
+        ));
         let t1 = g.add_task("t1", vec![s1, h1]);
         g.add_edge(t2, t1); // t1 starts after the 500-tick software task
         let _ = t0;
@@ -157,8 +180,7 @@ mod tests {
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(inst));
         // t0 chosen HW, t1/t2 SW.
         let choice = vec![ImplId(1), ImplId(2), ImplId(3)];
-        let mut st =
-            SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap();
+        let mut st = SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap();
         let h0 = ImplId(1);
         st.open_region(prfpga_model::TaskId(0), h0);
         st
@@ -191,10 +213,18 @@ mod tests {
         let mut pool = ImplPool::new();
         let mut g = TaskGraph::new();
         let s0 = pool.add(Implementation::software("s0", 900));
-        let h0 = pool.add(Implementation::hardware("h0", 10, ResourceVec::new(5, 0, 0)));
+        let h0 = pool.add(Implementation::hardware(
+            "h0",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         g.add_task("t0", vec![s0, h0]);
         let s1 = pool.add(Implementation::software("s1", 300));
-        let h1 = pool.add(Implementation::hardware("h1", 40, ResourceVec::new(4, 0, 0)));
+        let h1 = pool.add(Implementation::hardware(
+            "h1",
+            40,
+            ResourceVec::new(4, 0, 0),
+        ));
         g.add_task("t1", vec![s1, h1]);
         let inst2 = ProblemInstance::new(
             "bal2",
@@ -213,7 +243,10 @@ mod tests {
         .unwrap();
         st2.open_region(TaskId(0), ImplId(1));
         let hoisted = balance_software_tasks(&mut st2);
-        assert_eq!(hoisted, 0, "T_MIN == 0 is not strictly greater than totRecTime");
+        assert_eq!(
+            hoisted, 0,
+            "T_MIN == 0 is not strictly greater than totRecTime"
+        );
         assert!(!st2.is_hw(TaskId(1)));
         drop(st);
     }

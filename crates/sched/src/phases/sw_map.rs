@@ -9,13 +9,17 @@
 //! task pins the order, and the induced delay is propagated through the
 //! dependency graph by the CPM recomputation.
 
+use std::time::Instant;
+
 use prfpga_model::{TaskId, Time};
 
 use crate::state::SchedState;
+use crate::trace::Phase;
 
 /// Runs software task mapping; fills `state.core_of` for software tasks
 /// and inserts per-core sequencing arcs.
 pub fn map_software_tasks(state: &mut SchedState<'_>) {
+    let t0 = Instant::now();
     let num_cores = state.inst.architecture.num_processors;
     // Snapshot processing order by current T_MIN (phase E anchors starts
     // at T_MIN).
@@ -61,6 +65,7 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
         state.core_of[t.index()] = Some(best_core);
         state.recompute_windows();
     }
+    state.observer.phase_finished(Phase::SwMap, t0.elapsed());
 }
 
 #[cfg(test)]
@@ -146,8 +151,7 @@ mod tests {
         )
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
-        let mut st =
-            SchedState::new(&inst, inst.architecture.device.clone(), w, vec![h]).unwrap();
+        let mut st = SchedState::new(&inst, inst.architecture.device.clone(), w, vec![h]).unwrap();
         st.open_region(TaskId(0), h);
         map_software_tasks(&mut st);
         assert_eq!(st.core_of[0], None);

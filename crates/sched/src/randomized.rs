@@ -106,8 +106,7 @@ impl PaRScheduler {
             let makespan = schedule.makespan();
             if makespan < best_makespan {
                 // Pay for the floorplanner only on improvement (Algorithm 1).
-                let demands: Vec<ResourceVec> =
-                    schedule.regions.iter().map(|r| r.res).collect();
+                let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
                 if let FloorplanOutcome::Feasible(_) =
                     planner.check_device(&inst.architecture.device, &demands)
                 {
@@ -213,8 +212,7 @@ impl PaRScheduler {
                                 }
                             } else if shrinks_left > 0 {
                                 let (num, den) = config.shrink_factor;
-                                virtual_device =
-                                    virtual_device.with_scaled_capacity(num, den);
+                                virtual_device = virtual_device.with_scaled_capacity(num, den);
                                 shrinks_left -= 1;
                             }
                         }

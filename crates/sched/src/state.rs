@@ -1,12 +1,11 @@
 //! Mutable scheduler state shared by the pipeline phases.
 
 use prfpga_dag::{CpmAnalysis, Dag};
-use prfpga_model::{
-    Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow,
-};
+use prfpga_model::{Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow};
 
 use crate::error::SchedError;
 use crate::metrics::MetricWeights;
+use crate::trace::ObserverHandle;
 
 /// A reconfigurable region being built up during regions definition.
 #[derive(Debug, Clone)]
@@ -47,6 +46,10 @@ pub struct SchedState<'a> {
     /// Whether the module-reuse extension is active (affects placement
     /// tie-breaking and reconfiguration planning).
     pub module_reuse: bool,
+    /// Observer the phases report wall-clock and counters to; no-op unless
+    /// the caller installs a recorder (like `module_reuse`, injected after
+    /// construction so direct phase callers are unaffected).
+    pub observer: ObserverHandle,
 }
 
 impl<'a> SchedState<'a> {
@@ -77,6 +80,7 @@ impl<'a> SchedState<'a> {
             region_of: vec![None; n],
             core_of: vec![None; n],
             module_reuse: false,
+            observer: ObserverHandle::noop(),
         })
     }
 
@@ -106,7 +110,10 @@ impl<'a> SchedState<'a> {
     /// True when the chosen implementation of `t` is hardware.
     #[inline]
     pub fn is_hw(&self, t: TaskId) -> bool {
-        self.inst.impls.get(self.impl_choice[t.index()]).is_hardware()
+        self.inst
+            .impls
+            .get(self.impl_choice[t.index()])
+            .is_hardware()
     }
 
     /// Resources of the chosen implementation of `t` (zero for software).

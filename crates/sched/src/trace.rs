@@ -1,0 +1,345 @@
+//! Phase-level tracing of the PA pipeline.
+//!
+//! The driver and every pipeline phase report wall-clock and counters to a
+//! [`PhaseObserver`]. The default observer is a no-op (all trait methods
+//! have empty bodies), so the untraced paths — PA-R's inner loop, direct
+//! phase calls in tests and benches — pay nothing beyond two `Instant`
+//! reads per phase. [`PaScheduler::schedule_detailed`] installs a
+//! [`TraceRecorder`] and surfaces the resulting [`PhaseTrace`] in
+//! [`PaResult::trace`], which the CLI and the bench report render as a
+//! per-phase timing table.
+//!
+//! [`PaScheduler::schedule_detailed`]: crate::PaScheduler::schedule_detailed
+//! [`PaResult::trace`]: crate::PaResult
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// The pipeline phases distinguished by the tracer, in execution order.
+///
+/// Phase E (start/end anchoring, §V-E) is implicit in the CPM windows and
+/// has no code of its own, so it does not appear here; phase H
+/// (floorplanning) runs outside `scheduling_time` but is traced alongside
+/// the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Phase A — implementation selection (eq. 3–4 weights included).
+    ImplSelect,
+    /// Phase B — dependency DAG construction and the initial CPM pass.
+    CriticalPath,
+    /// Phase C — regions definition.
+    Regions,
+    /// Phase D — software task balancing.
+    SwBalance,
+    /// Phase F — software task mapping.
+    SwMap,
+    /// Phase G — reconfiguration scheduling / timing realization.
+    Reconf,
+    /// Phase H — floorplan feasibility check (outside `scheduling_time`).
+    Floorplan,
+}
+
+impl Phase {
+    /// Every phase, in execution order.
+    pub const ALL: [Phase; 7] = [
+        Phase::ImplSelect,
+        Phase::CriticalPath,
+        Phase::Regions,
+        Phase::SwBalance,
+        Phase::SwMap,
+        Phase::Reconf,
+        Phase::Floorplan,
+    ];
+
+    /// Number of distinct phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable dense index, used to address [`PhaseTrace`] arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::ImplSelect => 0,
+            Phase::CriticalPath => 1,
+            Phase::Regions => 2,
+            Phase::SwBalance => 3,
+            Phase::SwMap => 4,
+            Phase::Reconf => 5,
+            Phase::Floorplan => 6,
+        }
+    }
+
+    /// Human-readable label matching the paper's phase lettering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ImplSelect => "A implementation selection",
+            Phase::CriticalPath => "B critical path extraction",
+            Phase::Regions => "C regions definition",
+            Phase::SwBalance => "D software task balancing",
+            Phase::SwMap => "F software task mapping",
+            Phase::Reconf => "G reconfiguration scheduling",
+            Phase::Floorplan => "H floorplanning",
+        }
+    }
+
+    /// True for the phases whose time the driver books under
+    /// `scheduling_time` (everything but floorplanning).
+    #[inline]
+    pub fn is_scheduling(self) -> bool {
+        self != Phase::Floorplan
+    }
+}
+
+/// Receiver of pipeline progress events.
+///
+/// Every method has a no-op default body, so implementations override only
+/// what they care about and call sites never need to check for an observer.
+pub trait PhaseObserver: Send + Sync {
+    /// A pipeline run is starting (`attempt` is 1-based; values above 1 are
+    /// feasibility restarts with shrunk virtual capacity, §V-H).
+    fn pipeline_started(&self, _attempt: usize) {}
+
+    /// A phase finished after `elapsed` wall-clock.
+    fn phase_finished(&self, _phase: Phase, _elapsed: Duration) {}
+
+    /// Regions definition ended with `regions` regions hosting `hw_tasks`
+    /// hardware tasks, leaving `sw_tasks` in software.
+    fn regions_defined(&self, _regions: usize, _hw_tasks: usize, _sw_tasks: usize) {}
+
+    /// Software balancing hoisted `moved` tasks onto the fabric.
+    fn tasks_hoisted(&self, _moved: usize) {}
+
+    /// Timing realization planned `count` reconfigurations.
+    fn reconfigurations_planned(&self, _count: usize) {}
+}
+
+/// The do-nothing observer used by untraced paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PhaseObserver for NoopObserver {}
+
+/// Cheaply-clonable shared handle to an observer, carried by the scheduler
+/// state so the phases can report without extra parameters.
+#[derive(Clone)]
+pub struct ObserverHandle(Arc<dyn PhaseObserver>);
+
+impl ObserverHandle {
+    /// Wraps an observer.
+    pub fn new(observer: Arc<dyn PhaseObserver>) -> Self {
+        ObserverHandle(observer)
+    }
+
+    /// The no-op handle.
+    pub fn noop() -> Self {
+        ObserverHandle(Arc::new(NoopObserver))
+    }
+}
+
+impl Default for ObserverHandle {
+    fn default() -> Self {
+        Self::noop()
+    }
+}
+
+impl std::ops::Deref for ObserverHandle {
+    type Target = dyn PhaseObserver;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ObserverHandle(..)")
+    }
+}
+
+/// Aggregated trace of one scheduler run: per-phase wall-clock summed over
+/// restarts, plus the structural counters of the *last* pipeline run (the
+/// one whose schedule is returned).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTrace {
+    /// Wall-clock per phase (indexed by [`Phase::index`]), summed over
+    /// restarts.
+    pub phase_time: [Duration; Phase::COUNT],
+    /// Times each phase ran (phase D is skipped when balancing is off).
+    pub phase_runs: [u32; Phase::COUNT],
+    /// Pipeline runs observed (1 = no feasibility restart).
+    pub attempts: usize,
+    /// Regions defined by the last pipeline run.
+    pub regions: usize,
+    /// Hardware tasks placed by the last pipeline run.
+    pub hw_tasks: usize,
+    /// Software tasks left by the last pipeline run.
+    pub sw_tasks: usize,
+    /// Tasks hoisted to hardware by balancing in the last pipeline run.
+    pub balance_moves: usize,
+    /// Reconfigurations planned by the last pipeline run.
+    pub reconfigurations: usize,
+}
+
+impl PhaseTrace {
+    /// Wall-clock recorded for one phase.
+    #[inline]
+    pub fn time(&self, phase: Phase) -> Duration {
+        self.phase_time[phase.index()]
+    }
+
+    /// Sum of the scheduling phases (A–G, excluding floorplanning) — the
+    /// traced portion of the driver's `scheduling_time`.
+    pub fn scheduling_phase_time(&self) -> Duration {
+        Phase::ALL
+            .iter()
+            .filter(|p| p.is_scheduling())
+            .map(|&p| self.time(p))
+            .sum()
+    }
+
+    /// `(phase, wall-clock, runs)` rows for the phases that actually ran,
+    /// in execution order — the data behind the timing tables.
+    pub fn rows(&self) -> Vec<(Phase, Duration, u32)> {
+        Phase::ALL
+            .iter()
+            .filter(|p| self.phase_runs[p.index()] > 0)
+            .map(|&p| (p, self.time(p), self.phase_runs[p.index()]))
+            .collect()
+    }
+
+    /// Renders the trace as an aligned plain-text table (used by the CLI).
+    pub fn render_table(&self) -> String {
+        let total: Duration = self.phase_time.iter().sum();
+        let mut out = String::from("phase                           time [ms]   share   runs\n");
+        for (phase, time, runs) in self.rows() {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                time.as_secs_f64() / total.as_secs_f64() * 100.0
+            };
+            out.push_str(&format!(
+                "{:<30} {:>10.3} {:>6.1}% {:>6}\n",
+                phase.name(),
+                time.as_secs_f64() * 1e3,
+                share,
+                runs,
+            ));
+        }
+        out.push_str(&format!(
+            "attempts {} | {} regions, {} hw / {} sw tasks, {} reconfigurations\n",
+            self.attempts, self.regions, self.hw_tasks, self.sw_tasks, self.reconfigurations,
+        ));
+        out
+    }
+}
+
+/// A [`PhaseObserver`] that accumulates a [`PhaseTrace`] behind a mutex.
+///
+/// Durations sum across restarts; structural counters overwrite, so after
+/// the run they describe the pipeline pass whose schedule was kept.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    inner: Mutex<PhaseTrace>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the trace accumulated so far.
+    pub fn snapshot(&self) -> PhaseTrace {
+        self.inner.lock().clone()
+    }
+}
+
+impl PhaseObserver for TraceRecorder {
+    fn pipeline_started(&self, attempt: usize) {
+        let mut t = self.inner.lock();
+        t.attempts = t.attempts.max(attempt);
+    }
+
+    fn phase_finished(&self, phase: Phase, elapsed: Duration) {
+        let mut t = self.inner.lock();
+        t.phase_time[phase.index()] += elapsed;
+        t.phase_runs[phase.index()] += 1;
+    }
+
+    fn regions_defined(&self, regions: usize, hw_tasks: usize, sw_tasks: usize) {
+        let mut t = self.inner.lock();
+        t.regions = regions;
+        t.hw_tasks = hw_tasks;
+        t.sw_tasks = sw_tasks;
+    }
+
+    fn tasks_hoisted(&self, moved: usize) {
+        self.inner.lock().balance_moves = moved;
+    }
+
+    fn reconfigurations_planned(&self, count: usize) {
+        self.inner.lock().reconfigurations = count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::COUNT, 7);
+    }
+
+    #[test]
+    fn recorder_accumulates_time_and_overwrites_counters() {
+        let rec = TraceRecorder::new();
+        rec.pipeline_started(1);
+        rec.phase_finished(Phase::Regions, Duration::from_millis(2));
+        rec.regions_defined(4, 10, 5);
+        rec.pipeline_started(2);
+        rec.phase_finished(Phase::Regions, Duration::from_millis(3));
+        rec.regions_defined(2, 6, 9);
+        rec.reconfigurations_planned(7);
+        let t = rec.snapshot();
+        assert_eq!(t.attempts, 2);
+        assert_eq!(t.time(Phase::Regions), Duration::from_millis(5));
+        assert_eq!(t.phase_runs[Phase::Regions.index()], 2);
+        assert_eq!((t.regions, t.hw_tasks, t.sw_tasks), (2, 6, 9));
+        assert_eq!(t.reconfigurations, 7);
+    }
+
+    #[test]
+    fn scheduling_phase_time_excludes_floorplan() {
+        let rec = TraceRecorder::new();
+        rec.phase_finished(Phase::ImplSelect, Duration::from_millis(1));
+        rec.phase_finished(Phase::Floorplan, Duration::from_millis(100));
+        let t = rec.snapshot();
+        assert_eq!(t.scheduling_phase_time(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn rows_skip_never_run_phases() {
+        let rec = TraceRecorder::new();
+        rec.phase_finished(Phase::SwMap, Duration::from_millis(1));
+        let t = rec.snapshot();
+        let rows = t.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Phase::SwMap);
+        assert!(t.render_table().contains("F software task mapping"));
+    }
+
+    #[test]
+    fn noop_observer_is_default() {
+        let h = ObserverHandle::default();
+        // All events are accepted and discarded.
+        h.pipeline_started(1);
+        h.phase_finished(Phase::Reconf, Duration::from_secs(1));
+        assert_eq!(format!("{h:?}"), "ObserverHandle(..)");
+    }
+}

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use prfpga_model::{
-    Architecture, Device, ImplPool, Implementation, ProblemInstance, ResourceVec, TaskGraph,
-    TaskId,
+    Architecture, Device, ImplPool, Implementation, ProblemInstance, ResourceVec, TaskGraph, TaskId,
 };
 use prfpga_sched::config::{CostPolicy, OrderingPolicy};
 use prfpga_sched::metrics::MetricWeights;
@@ -18,7 +17,7 @@ fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
         let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2);
         let specs = proptest::collection::vec(
             (
-                50u64..3000,                                   // sw time
+                50u64..3000, // sw time
                 proptest::option::of((10u64..1000, 1u64..400, 0u64..20, 0u64..20)),
             ),
             n,

@@ -132,16 +132,22 @@ impl fmt::Display for ValidationError {
                 write!(f, "task {} mapped to nonexistent region", task.0)
             }
             DurationMismatch { task } => {
-                write!(f, "task {} slot length differs from its execution time", task.0)
+                write!(
+                    f,
+                    "task {} slot length differs from its execution time",
+                    task.0
+                )
             }
-            RegionTooSmall { task, region } => write!(
-                f,
-                "task {} does not fit in region {}",
-                task.0, region.0
-            ),
+            RegionTooSmall { task, region } => {
+                write!(f, "task {} does not fit in region {}", task.0, region.0)
+            }
             DeviceOverCapacity => write!(f, "regions exceed device capacity"),
             PrecedenceViolated { from, to } => {
-                write!(f, "task {} starts before its producer {} ends", to.0, from.0)
+                write!(
+                    f,
+                    "task {} starts before its producer {} ends",
+                    to.0, from.0
+                )
             }
             CoreOverlap { a, b, core } => {
                 write!(f, "tasks {} and {} overlap on core {core}", a.0, b.0)

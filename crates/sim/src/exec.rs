@@ -104,9 +104,7 @@ pub fn execute_asap(instance: &ProblemInstance, schedule: &Schedule) -> Option<A
     let mut ctrl_free: Vec<Time> = vec![0; k];
     for &ri in &rec_order {
         let r = &schedule.reconfigurations[ri];
-        let ctrl = (0..k)
-            .min_by_key(|&c| (ctrl_free[c], c))
-            .expect("k >= 1");
+        let ctrl = (0..k).min_by_key(|&c| (ctrl_free[c], c)).expect("k >= 1");
         if let Some(prev) = ctrl_last[ctrl] {
             add(&mut succs, &mut indeg, n_tasks + prev, n_tasks + ri, 0);
         }
@@ -153,9 +151,17 @@ mod tests {
     fn fixture_with_gap() -> (ProblemInstance, Schedule) {
         let mut impls = ImplPool::new();
         let a_sw = impls.add(Implementation::software("a_sw", 100));
-        let a_hw = impls.add(Implementation::hardware("a_hw", 10, ResourceVec::new(5, 0, 0)));
+        let a_hw = impls.add(Implementation::hardware(
+            "a_hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let b_sw = impls.add(Implementation::software("b_sw", 100));
-        let b_hw = impls.add(Implementation::hardware("b_hw", 12, ResourceVec::new(4, 0, 0)));
+        let b_hw = impls.add(Implementation::hardware(
+            "b_hw",
+            12,
+            ResourceVec::new(4, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         let a = g.add_task("a", vec![a_sw, a_hw]);
         let b = g.add_task("b", vec![b_sw, b_hw]);
@@ -170,10 +176,22 @@ mod tests {
         // Deliberate idle gap: reconfiguration could start at 10 but starts
         // at 20; task b could start at 25 but starts at 40.
         let schedule = Schedule {
-            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            regions: vec![Region {
+                res: ResourceVec::new(5, 0, 0),
+            }],
             assignments: vec![
-                TaskAssignment { impl_id: a_hw, placement: Placement::Region(RegionId(0)), start: 0, end: 10 },
-                TaskAssignment { impl_id: b_hw, placement: Placement::Region(RegionId(0)), start: 40, end: 52 },
+                TaskAssignment {
+                    impl_id: a_hw,
+                    placement: Placement::Region(RegionId(0)),
+                    start: 0,
+                    end: 10,
+                },
+                TaskAssignment {
+                    impl_id: b_hw,
+                    placement: Placement::Region(RegionId(0)),
+                    start: 40,
+                    end: 52,
+                },
             ],
             reconfigurations: vec![Reconfiguration {
                 region: RegionId(0),

@@ -14,9 +14,7 @@ use prfpga_model::{Placement, ProblemInstance, RegionId, Schedule, Time};
 pub fn render_gantt(instance: &ProblemInstance, schedule: &Schedule, width: usize) -> String {
     let width = width.max(10);
     let makespan = schedule.makespan().max(1);
-    let scale = |t: Time| -> usize {
-        ((t as u128 * width as u128) / makespan as u128) as usize
-    };
+    let scale = |t: Time| -> usize { ((t as u128 * width as u128) / makespan as u128) as usize };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -111,7 +109,11 @@ mod tests {
     fn renders_rows_for_every_resource() {
         let mut impls = ImplPool::new();
         let sw = impls.add(Implementation::software("sw", 30));
-        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw = impls.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         g.add_task("a", vec![sw, hw]);
         g.add_task("b", vec![sw]);
@@ -123,7 +125,9 @@ mod tests {
         )
         .unwrap();
         let sched = Schedule {
-            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            regions: vec![Region {
+                res: ResourceVec::new(5, 0, 0),
+            }],
             assignments: vec![
                 TaskAssignment {
                     impl_id: hw,

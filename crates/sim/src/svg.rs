@@ -142,7 +142,11 @@ mod tests {
     fn fixture() -> (ProblemInstance, Schedule) {
         let mut impls = ImplPool::new();
         let sw = impls.add(Implementation::software("sw", 30));
-        let hw = impls.add(Implementation::hardware("hw", 10, ResourceVec::new(5, 0, 0)));
+        let hw = impls.add(Implementation::hardware(
+            "hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         g.add_task("alpha", vec![sw, hw]);
         g.add_task("beta<&>", vec![sw]);
@@ -154,7 +158,9 @@ mod tests {
         )
         .unwrap();
         let sched = Schedule {
-            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            regions: vec![Region {
+                res: ResourceVec::new(5, 0, 0),
+            }],
             assignments: vec![
                 TaskAssignment {
                     impl_id: hw,

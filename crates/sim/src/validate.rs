@@ -1,8 +1,6 @@
 //! From-first-principles schedule validation.
 
-use prfpga_model::{
-    ImplKind, Placement, ProblemInstance, RegionId, Schedule, TaskId, Time,
-};
+use prfpga_model::{ImplKind, Placement, ProblemInstance, RegionId, Schedule, TaskId, Time};
 
 use crate::error::ValidationError;
 
@@ -54,7 +52,10 @@ pub fn validate_schedule(
                     return Err(ValidationError::RegionOutOfRange { task: t });
                 };
                 if !res.fits_in(&region.res) {
-                    return Err(ValidationError::RegionTooSmall { task: t, region: *r });
+                    return Err(ValidationError::RegionTooSmall {
+                        task: t,
+                        region: *r,
+                    });
                 }
             }
             (ImplKind::Software, Placement::Core(p)) => {
@@ -70,10 +71,7 @@ pub fn validate_schedule(
     }
 
     // --- Device capacity --------------------------------------------------
-    if !schedule
-        .total_region_resources()
-        .fits_in(&device.max_res)
-    {
+    if !schedule.total_region_resources().fits_in(&device.max_res) {
         return Err(ValidationError::DeviceOverCapacity);
     }
 
@@ -96,8 +94,12 @@ pub fn validate_schedule(
         let tasks = schedule.tasks_on_core(p);
         for pair in tasks.windows(2) {
             let (a, b) = (pair[0], pair[1]);
-            if overlaps(schedule.assignment(a).start, schedule.assignment(a).end,
-                        schedule.assignment(b).start, schedule.assignment(b).end) {
+            if overlaps(
+                schedule.assignment(a).start,
+                schedule.assignment(a).end,
+                schedule.assignment(b).start,
+                schedule.assignment(b).end,
+            ) {
                 return Err(ValidationError::CoreOverlap { a, b, core: p });
             }
         }
@@ -111,8 +113,12 @@ pub fn validate_schedule(
         // Tasks must not overlap each other.
         for pair in tasks.windows(2) {
             let (a, b) = (pair[0], pair[1]);
-            if overlaps(schedule.assignment(a).start, schedule.assignment(a).end,
-                        schedule.assignment(b).start, schedule.assignment(b).end) {
+            if overlaps(
+                schedule.assignment(a).start,
+                schedule.assignment(a).end,
+                schedule.assignment(b).start,
+                schedule.assignment(b).end,
+            ) {
                 return Err(ValidationError::RegionOverlap { a, b, region: rid });
             }
         }
@@ -122,16 +128,12 @@ pub fn validate_schedule(
             for &t in &tasks {
                 let a = schedule.assignment(t);
                 if overlaps(r.start, r.end, a.start, a.end) {
-                    return Err(ValidationError::ReconfigurationDuringExecution {
-                        region: rid,
-                    });
+                    return Err(ValidationError::ReconfigurationDuringExecution { region: rid });
                 }
             }
             // Duration follows eq. 1-2 for the region size.
             if r.duration() != device.reconf_time(&region.res) {
-                return Err(ValidationError::ReconfigurationDurationMismatch {
-                    region: rid,
-                });
+                return Err(ValidationError::ReconfigurationDurationMismatch { region: rid });
             }
         }
 
@@ -219,9 +221,17 @@ mod tests {
     fn fixture() -> (ProblemInstance, Schedule) {
         let mut impls = ImplPool::new();
         let a_sw = impls.add(Implementation::software("a_sw", 100));
-        let a_hw = impls.add(Implementation::hardware("a_hw", 10, ResourceVec::new(5, 0, 0)));
+        let a_hw = impls.add(Implementation::hardware(
+            "a_hw",
+            10,
+            ResourceVec::new(5, 0, 0),
+        ));
         let b_sw = impls.add(Implementation::software("b_sw", 100));
-        let b_hw = impls.add(Implementation::hardware("b_hw", 12, ResourceVec::new(4, 0, 0)));
+        let b_hw = impls.add(Implementation::hardware(
+            "b_hw",
+            12,
+            ResourceVec::new(4, 0, 0),
+        ));
         let mut g = TaskGraph::new();
         let a = g.add_task("a", vec![a_sw, a_hw]);
         let b = g.add_task("b", vec![b_sw, b_hw]);
@@ -235,7 +245,9 @@ mod tests {
         .unwrap();
 
         let schedule = Schedule {
-            regions: vec![Region { res: ResourceVec::new(5, 0, 0) }],
+            regions: vec![Region {
+                res: ResourceVec::new(5, 0, 0),
+            }],
             assignments: vec![
                 TaskAssignment {
                     impl_id: a_hw,
@@ -278,8 +290,7 @@ mod tests {
         // only after shape checks, so accept any of the overlap flavors.
         assert!(matches!(
             err,
-            ValidationError::PrecedenceViolated { .. }
-                | ValidationError::RegionOverlap { .. }
+            ValidationError::PrecedenceViolated { .. } | ValidationError::RegionOverlap { .. }
         ));
     }
 
@@ -332,7 +343,9 @@ mod tests {
     #[test]
     fn detects_device_over_capacity() {
         let (inst, mut s) = fixture();
-        s.regions.push(Region { res: ResourceVec::new(19, 0, 0) });
+        s.regions.push(Region {
+            res: ResourceVec::new(19, 0, 0),
+        });
         assert_eq!(
             validate_schedule(&inst, &s),
             Err(ValidationError::DeviceOverCapacity)
@@ -355,7 +368,9 @@ mod tests {
     fn detects_reconfigurator_contention() {
         let (inst, mut s) = fixture();
         // A second, overlapping reconfiguration of a second region.
-        s.regions.push(Region { res: ResourceVec::new(5, 0, 0) });
+        s.regions.push(Region {
+            res: ResourceVec::new(5, 0, 0),
+        });
         s.reconfigurations.push(Reconfiguration {
             region: RegionId(1),
             loads_impl: s.assignments[1].impl_id,
@@ -436,7 +451,10 @@ mod tests {
         s.assignments.pop();
         assert!(matches!(
             validate_schedule(&inst, &s),
-            Err(ValidationError::AssignmentCountMismatch { expected: 2, actual: 1 })
+            Err(ValidationError::AssignmentCountMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 }

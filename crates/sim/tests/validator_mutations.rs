@@ -1,0 +1,209 @@
+//! Mutation tests for the schedule validator.
+//!
+//! A hand-built, known-valid schedule is corrupted one field at a time;
+//! every mutant must be rejected with the *matching* `ValidationError`
+//! variant. This pins down the validator's sensitivity: a checker that
+//! silently accepts any of these mutants would also wave through the
+//! corresponding scheduler bug.
+
+use prfpga_model::{
+    Architecture, Device, ImplPool, Implementation, Placement, ProblemInstance, Reconfiguration,
+    Region, RegionId, ResourceVec, Schedule, TaskAssignment, TaskGraph, TaskId,
+};
+use prfpga_sim::{validate_schedule, ValidationError};
+
+const A: TaskId = TaskId(0); // hw, region 0, [0, 10)
+const B: TaskId = TaskId(1); // hw, region 0, [15, 27), needs a reconfiguration
+const C: TaskId = TaskId(2); // sw, core 0, [12, 20), depends on A
+const D: TaskId = TaskId(3); // sw, core 0, [20, 28), independent
+const E: TaskId = TaskId(4); // hw, region 1, [30, 40), optional initial reconf
+
+/// Five tasks across two regions and one core on a 20-CLB device with a
+/// single reconfiguration controller (`rec_freq` 1, so a 5-CLB region
+/// takes exactly 5 ticks to reconfigure).
+///
+/// The two reconfigurations occupy the controller at [10, 15) (region 0,
+/// loading B's bitstream) and [20, 25) (region 1, pre-loading E's) —
+/// back-to-back but never concurrent.
+fn fixture() -> (ProblemInstance, Schedule) {
+    let mut impls = ImplPool::new();
+    let a_hw = impls.add(Implementation::hardware(
+        "a_hw",
+        10,
+        ResourceVec::new(5, 0, 0),
+    ));
+    let a_sw = impls.add(Implementation::software("a_sw", 100));
+    let b_hw = impls.add(Implementation::hardware(
+        "b_hw",
+        12,
+        ResourceVec::new(4, 0, 0),
+    ));
+    let b_sw = impls.add(Implementation::software("b_sw", 100));
+    let c_sw = impls.add(Implementation::software("c_sw", 8));
+    let d_sw = impls.add(Implementation::software("d_sw", 8));
+    let e_hw = impls.add(Implementation::hardware(
+        "e_hw",
+        10,
+        ResourceVec::new(5, 0, 0),
+    ));
+    let e_sw = impls.add(Implementation::software("e_sw", 100));
+
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", vec![a_hw, a_sw]);
+    let b = g.add_task("b", vec![b_hw, b_sw]);
+    let c = g.add_task("c", vec![c_sw]);
+    let _d = g.add_task("d", vec![d_sw]);
+    let _e = g.add_task("e", vec![e_hw, e_sw]);
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+
+    let inst = ProblemInstance::new(
+        "mutation_fixture",
+        Architecture::new(1, Device::tiny_test(ResourceVec::new(20, 4, 4), 1)),
+        g,
+        impls,
+    )
+    .unwrap();
+
+    let schedule = Schedule {
+        regions: vec![
+            Region {
+                res: ResourceVec::new(5, 0, 0),
+            },
+            Region {
+                res: ResourceVec::new(5, 0, 0),
+            },
+        ],
+        assignments: vec![
+            TaskAssignment {
+                impl_id: a_hw,
+                placement: Placement::Region(RegionId(0)),
+                start: 0,
+                end: 10,
+            },
+            TaskAssignment {
+                impl_id: b_hw,
+                placement: Placement::Region(RegionId(0)),
+                start: 15,
+                end: 27,
+            },
+            TaskAssignment {
+                impl_id: c_sw,
+                placement: Placement::Core(0),
+                start: 12,
+                end: 20,
+            },
+            TaskAssignment {
+                impl_id: d_sw,
+                placement: Placement::Core(0),
+                start: 20,
+                end: 28,
+            },
+            TaskAssignment {
+                impl_id: e_hw,
+                placement: Placement::Region(RegionId(1)),
+                start: 30,
+                end: 40,
+            },
+        ],
+        reconfigurations: vec![
+            Reconfiguration {
+                region: RegionId(0),
+                loads_impl: b_hw,
+                outgoing_task: B,
+                start: 10,
+                end: 15,
+            },
+            Reconfiguration {
+                region: RegionId(1),
+                loads_impl: e_hw,
+                outgoing_task: E,
+                start: 20,
+                end: 25,
+            },
+        ],
+    };
+    (inst, schedule)
+}
+
+#[test]
+fn baseline_fixture_is_valid() {
+    let (inst, s) = fixture();
+    assert_eq!(validate_schedule(&inst, &s), Ok(()));
+}
+
+/// Mutation: C starts before its producer A finishes. C sits on a core
+/// while A sits in a region, so precedence is the *only* constraint the
+/// shift can break — the rejection variant is exact, not a coincidence
+/// of check ordering.
+#[test]
+fn start_before_dependency_is_precedence_violated() {
+    let (inst, mut s) = fixture();
+    s.assignments[C.index()].start = 5;
+    s.assignments[C.index()].end = 13; // keep the 8-tick duration intact
+    assert_eq!(
+        validate_schedule(&inst, &s),
+        Err(ValidationError::PrecedenceViolated { from: A, to: C })
+    );
+}
+
+/// Mutation: region 0 shrinks below A's 5-CLB implementation.
+#[test]
+fn region_below_implementation_is_region_too_small() {
+    let (inst, mut s) = fixture();
+    s.regions[0].res = ResourceVec::new(4, 0, 0);
+    assert_eq!(
+        validate_schedule(&inst, &s),
+        Err(ValidationError::RegionTooSmall {
+            task: A,
+            region: RegionId(0)
+        })
+    );
+}
+
+/// Mutation: the reconfiguration between A and B (different bitstreams in
+/// one region) is dropped.
+#[test]
+fn dropped_reconfiguration_is_missing_reconfiguration() {
+    let (inst, mut s) = fixture();
+    s.reconfigurations.retain(|r| r.region != RegionId(0));
+    assert_eq!(
+        validate_schedule(&inst, &s),
+        Err(ValidationError::MissingReconfiguration {
+            task: B,
+            region: RegionId(0)
+        })
+    );
+}
+
+/// Mutation: D slides under C on core 0. D has no dependencies, so core
+/// exclusivity is the only constraint violated.
+#[test]
+fn two_tasks_on_one_core_is_core_overlap() {
+    let (inst, mut s) = fixture();
+    s.assignments[D.index()].start = 16;
+    s.assignments[D.index()].end = 24;
+    assert_eq!(
+        validate_schedule(&inst, &s),
+        Err(ValidationError::CoreOverlap {
+            a: C,
+            b: D,
+            core: 0
+        })
+    );
+}
+
+/// Mutation: region 1's reconfiguration slides onto the controller while
+/// region 0's is still running. Both stay individually well-formed
+/// (correct duration, finish before their task starts), so the single
+/// controller is the only constraint violated.
+#[test]
+fn overlapping_reconfigurations_are_reconfigurator_contention() {
+    let (inst, mut s) = fixture();
+    s.reconfigurations[1].start = 12;
+    s.reconfigurations[1].end = 17;
+    assert_eq!(
+        validate_schedule(&inst, &s),
+        Err(ValidationError::ReconfiguratorContention)
+    );
+}

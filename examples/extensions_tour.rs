@@ -14,7 +14,9 @@ use prfpga::gen::{GraphConfig, TaskGraphGenerator};
 use prfpga::prelude::*;
 
 fn pa(config: SchedulerConfig, inst: &ProblemInstance, label: &str) -> Time {
-    let s = PaScheduler::new(config).schedule(inst).expect("schedulable");
+    let s = PaScheduler::new(config)
+        .schedule(inst)
+        .expect("schedulable");
     validate_schedule(inst, &s).expect("valid");
     println!(
         "  {label:32} makespan {:>7} ticks | {:>2} regions, {:>2} reconfigurations",
@@ -63,7 +65,11 @@ fn main() {
         },
         Architecture::zedboard_pr(),
     );
-    pa(SchedulerConfig::default(), &comm_inst, "PA under comm costs");
+    pa(
+        SchedulerConfig::default(),
+        &comm_inst,
+        "PA under comm costs",
+    );
     println!("     (costs vanish between co-located tasks; the validator enforces the rest)");
 
     println!("\n3) more reconfiguration controllers:");

@@ -55,8 +55,8 @@ fn main() {
     graph.add_edge(t1, t2);
     graph.add_edge(t1, t3);
 
-    let instance = ProblemInstance::new("figure1", arch, graph, impls)
-        .expect("well-formed instance");
+    let instance =
+        ProblemInstance::new("figure1", arch, graph, impls).expect("well-formed instance");
 
     // --- Schedule with PA ---------------------------------------------------
     let schedule = PaScheduler::new(SchedulerConfig::default())
@@ -81,7 +81,9 @@ fn main() {
     // --- What the greedy choice would have cost ----------------------------
     // Force the fast implementation by deleting the efficient variant.
     let mut greedy = instance.clone();
-    greedy.graph.tasks[t1.index()].impls.retain(|&i| i != t1_eff);
+    greedy.graph.tasks[t1.index()]
+        .impls
+        .retain(|&i| i != t1_eff);
     let greedy_schedule = PaScheduler::new(SchedulerConfig::default())
         .schedule(&greedy)
         .expect("feasible schedule");

@@ -24,11 +24,17 @@ fn main() {
         .schedule(&instance)
         .unwrap();
     validate_schedule(&instance, &pa).expect("valid");
-    println!("PA (deterministic, one shot): makespan {} ticks\n", pa.makespan());
+    println!(
+        "PA (deterministic, one shot): makespan {} ticks\n",
+        pa.makespan()
+    );
 
     // Anytime curve: fixed iteration budgets, fixed seed -> reproducible.
     println!("PA-R anytime curve (single thread):");
-    println!("{:>12} {:>12} {:>14}", "iterations", "makespan", "improvements");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "iterations", "makespan", "improvements"
+    );
     for iters in [1usize, 4, 16, 64] {
         let cfg = SchedulerConfig {
             max_iterations: iters,

@@ -52,12 +52,27 @@ fn main() {
     let mut graph = TaskGraph::new();
 
     // Stage timings loosely modeled on 1080p kernels (µs per frame).
-    let demosaic = stage(&mut impls, &mut graph, "demosaic", 18_000, 2_400, 900, 12, 8);
-    let denoise = stage(&mut impls, &mut graph, "denoise", 22_000, 3_000, 1_200, 18, 24);
+    let demosaic = stage(
+        &mut impls, &mut graph, "demosaic", 18_000, 2_400, 900, 12, 8,
+    );
+    let denoise = stage(
+        &mut impls, &mut graph, "denoise", 22_000, 3_000, 1_200, 18, 24,
+    );
     let edges = stage(&mut impls, &mut graph, "edges", 15_000, 2_000, 800, 8, 16);
-    let flow = stage(&mut impls, &mut graph, "optical_flow", 35_000, 4_500, 1_600, 24, 48);
+    let flow = stage(
+        &mut impls,
+        &mut graph,
+        "optical_flow",
+        35_000,
+        4_500,
+        1_600,
+        24,
+        48,
+    );
     let fusion = stage(&mut impls, &mut graph, "fusion", 12_000, 1_800, 700, 10, 12);
-    let encode = stage(&mut impls, &mut graph, "encode", 28_000, 3_600, 1_400, 30, 20);
+    let encode = stage(
+        &mut impls, &mut graph, "encode", 28_000, 3_600, 1_400, 30, 20,
+    );
     // A couple of CPU-ish control stages without hardware variants.
     let stats = graph.add_task(
         "frame_stats",
@@ -101,7 +116,10 @@ fn main() {
             st.reconf_busy,
             elapsed.as_secs_f64() * 1e3,
         );
-        if best.as_ref().is_none_or(|(_, b)| schedule.makespan() < b.makespan()) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| schedule.makespan() < b.makespan())
+        {
             best = Some((name.to_string(), schedule));
         }
     };

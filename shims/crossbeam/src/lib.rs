@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the surface the workspace uses is provided: `crossbeam::thread::scope`
+//! with spawn closures that receive the scope (so workers can spawn more
+//! workers), built on `std::thread::scope`. A panicking child turns into an
+//! `Err` from `scope`, matching crossbeam's contract.
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread`).
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Boxed panic payload of a child thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Result of a scope: `Err` when any spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, PanicPayload>;
+
+    /// A scope handed to the closure of [`scope`]; spawn borrows from it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which scoped threads can be spawned; joins all of
+    /// them before returning. Returns `Err` with the first panic payload if
+    /// any child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let count = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| count.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_is_an_error() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

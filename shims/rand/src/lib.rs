@@ -1,0 +1,338 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API surface it actually uses: [`RngCore`]/[`Rng`]/[`RngExt`] with
+//! `random`, `random_range` and `random_bool`, [`SeedableRng`] with the
+//! PCG32-based `seed_from_u64` expansion, and the [`seq`] helpers
+//! (`shuffle`, `choose`). Uniform integer ranges use rejection sampling
+//! (Lemire-style widening multiply), so draws are unbiased.
+//!
+//! Determinism matters here, bit-for-bit identity with upstream `rand`
+//! streams does not: every consumer in this workspace fixes its own seeds
+//! and asserts qualitative properties.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for random number generators (rand 0.9+ keeps `Rng` as the
+/// user-facing name; the methods live on [`RngExt`]).
+pub trait Rng: RngCore {}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples a value of `T` from the standard (full-width uniform)
+    /// distribution.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`). Panics on an
+    /// empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: IntoUniformRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi) = range.into_bounds();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types samplable from full-width uniform bits (`rng.random()`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, i8 => next_u32, i16 => next_u32,
+    i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types uniformly samplable over an inclusive range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi]`; panics if `lo > hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased draw from `[0, span]` (inclusive) over 64-bit arithmetic using
+/// widening-multiply rejection.
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let n = span + 1;
+    // Lemire's method: accept x when the low product word clears the bias
+    // zone of size (2^64 mod n).
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait IntoUniformRange<T> {
+    /// Inclusive `(lo, hi)` bounds of the range; panics on empty ranges.
+    fn into_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_into_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoUniformRange<$t> for core::ops::Range<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+impl_into_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Seedable generators (`rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array in every implementor here).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with a PCG32 stream, matching the
+    /// structure of `rand_core`'s default implementation.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let b = pcg32(&mut state);
+            let n = chunk.len();
+            chunk.copy_from_slice(&b[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seeds from another generator.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers (`rand::seq`).
+
+    use super::{RngCore, UniformSample};
+
+    /// In-place random permutation of mutable slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Uniform choice from indexable sequences.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_inclusive(rng, 0, self.len() - 1)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // Weak generator, strong enough for the unit checks below.
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0 ^ (self.0 >> 29)
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u32 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+            let s: i64 = rng.random_range(-3..=3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use seq::SliceRandom;
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle virtually never fixes all points"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        use seq::IndexedRandom;
+        let mut rng = Counter(11);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[*xs.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! Deserialization error type shared by the derive output and `serde_json`.
+
+use std::fmt;
+
+/// Why a value tree could not be lifted into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the message with the field/variant that failed, producing
+    /// breadcrumbs like `architecture.device.max_res: expected array`.
+    pub fn contextualize(self, context: &str) -> Self {
+        Error {
+            message: format!("{context}: {}", self.message),
+        }
+    }
+}
+
+// Constructors used by the generated derive code; keeping the formatting
+// here means the macro never has to emit `format!` calls (whose braces
+// would need escaping inside the code-generating `format!`s).
+impl Error {
+    /// "expected X for `Ty`, found Y" — type mismatch at a derive site.
+    pub fn expected(what: &str, ty: &str, found: &crate::value::Value) -> Self {
+        Error::new(format!(
+            "expected {what} for `{ty}`, found {}",
+            found.kind()
+        ))
+    }
+
+    /// A required field was absent from the object.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error::new(format!("missing field `{field}` in `{ty}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error::new(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+
+    /// A tuple (struct or variant) had the wrong number of elements.
+    pub fn bad_arity(ty: &str, expected: usize, found: usize) -> Self {
+        Error::new(format!(
+            "expected {expected} element(s) for `{ty}`, found {found}"
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

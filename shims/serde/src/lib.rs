@@ -1,0 +1,273 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors a value-tree serialization framework with the same *surface*
+//! (`#[derive(Serialize, Deserialize)]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `serde_json::{to_string_pretty, from_str,
+//! Value}`) and the same JSON wire format as real serde for the shapes this
+//! workspace uses: named structs as objects (fields in declaration order),
+//! newtype structs as their inner value, tuple structs as arrays, unit enum
+//! variants as strings, and data-carrying variants as single-key objects.
+//!
+//! Instead of the real crate's visitor-based data model, [`Serialize`]
+//! lowers to a [`value::Value`] tree and [`Deserialize`] lifts from one;
+//! `serde_json` is the only data format in the workspace, so the
+//! intermediate tree costs little and keeps the derive macro small.
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::{Number, Value};
+
+/// Types that can lower themselves to a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be lifted back from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Lifts a value of `Self` out of the tree, or explains why it cannot.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::new(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::new(format!(
+                        "expected integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::new(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::new(format!("expected boolean, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| de::Error::new(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| de::Error::new(format!("expected array, found {}", v.kind())))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| de::Error::new(format!("expected array, found {}", v.kind())))?;
+        if items.len() != N {
+            return Err(de::Error::new(format!(
+                "expected array of length {N}, found length {}",
+                items.len()
+            )));
+        }
+        let lifted: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        Ok(<[T; N]>::try_from(lifted).unwrap_or_else(|_| unreachable!("length checked above")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) of $len:literal),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    de::Error::new(format!("expected array, found {}", v.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(de::Error::new(format!(
+                        "expected {}-tuple, found array of length {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple!(
+    (A: 0) of 1,
+    (A: 0, B: 1) of 2,
+    (A: 0, B: 1, C: 2) of 3,
+    (A: 0, B: 1, C: 2, D: 3) of 4,
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(
+            <Option<u8>>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            <[u64; 3]>::from_value(&[1u64, 2, 3].to_value()).unwrap(),
+            [1, 2, 3]
+        );
+        let pair: (u64, u64) = Deserialize::from_value(&(7u64, 9u64).to_value()).unwrap();
+        assert_eq!(pair, (7, 9));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u8::from_value(&Value::String("x".into())).is_err());
+        assert!(u8::from_value(&Value::Number(Number::from_u64(300))).is_err());
+        assert!(<[u64; 3]>::from_value(&vec![1u64, 2].to_value()).is_err());
+    }
+}

@@ -39,7 +39,11 @@ fn colocated_software_chain_pays_no_communication() {
 fn cross_boundary_edge_pays_communication() {
     let mut impls = ImplPool::new();
     let a_sw = impls.add(Implementation::software("a_sw", 500));
-    let a_hw = impls.add(Implementation::hardware("a_hw", 50, ResourceVec::new(4, 0, 0)));
+    let a_hw = impls.add(Implementation::hardware(
+        "a_hw",
+        50,
+        ResourceVec::new(4, 0, 0),
+    ));
     let b_sw = impls.add(Implementation::software("b", 70));
     let mut g = TaskGraph::new();
     let a = g.add_task("a", vec![a_sw, a_hw]);
@@ -58,7 +62,10 @@ fn cross_boundary_edge_pays_communication() {
     validate_schedule(&inst, &s).unwrap();
     // a runs in hardware [0,50); b waits out the 100-tick transfer.
     assert_eq!(s.assignment(TaskId(0)).end, 50);
-    assert!(matches!(s.assignment(TaskId(0)).placement, Placement::Region(_)));
+    assert!(matches!(
+        s.assignment(TaskId(0)).placement,
+        Placement::Region(_)
+    ));
     assert_eq!(s.assignment(TaskId(1)).start, 150);
     assert_eq!(s.makespan(), 220);
 }
@@ -85,8 +92,18 @@ fn validator_enforces_communication() {
     let bad = Schedule {
         regions: vec![],
         assignments: vec![
-            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
-            TaskAssignment { impl_id: b_sw, placement: Placement::Core(1), start: 50, end: 120 },
+            TaskAssignment {
+                impl_id: a_sw,
+                placement: Placement::Core(0),
+                start: 0,
+                end: 50,
+            },
+            TaskAssignment {
+                impl_id: b_sw,
+                placement: Placement::Core(1),
+                start: 50,
+                end: 120,
+            },
         ],
         reconfigurations: vec![],
     };
@@ -95,8 +112,18 @@ fn validator_enforces_communication() {
     let good = Schedule {
         regions: vec![],
         assignments: vec![
-            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
-            TaskAssignment { impl_id: b_sw, placement: Placement::Core(1), start: 150, end: 220 },
+            TaskAssignment {
+                impl_id: a_sw,
+                placement: Placement::Core(0),
+                start: 0,
+                end: 50,
+            },
+            TaskAssignment {
+                impl_id: b_sw,
+                placement: Placement::Core(1),
+                start: 150,
+                end: 220,
+            },
         ],
         reconfigurations: vec![],
     };
@@ -105,8 +132,18 @@ fn validator_enforces_communication() {
     let coloc = Schedule {
         regions: vec![],
         assignments: vec![
-            TaskAssignment { impl_id: a_sw, placement: Placement::Core(0), start: 0, end: 50 },
-            TaskAssignment { impl_id: b_sw, placement: Placement::Core(0), start: 50, end: 120 },
+            TaskAssignment {
+                impl_id: a_sw,
+                placement: Placement::Core(0),
+                start: 0,
+                end: 50,
+            },
+            TaskAssignment {
+                impl_id: b_sw,
+                placement: Placement::Core(0),
+                start: 50,
+                end: 120,
+            },
         ],
         reconfigurations: vec![],
     };
@@ -182,10 +219,7 @@ fn legacy_json_without_edge_costs_loads() {
     )
     .unwrap();
     let mut json: serde_json::Value = serde_json::from_str(&inst.to_json()).unwrap();
-    json["graph"]
-        .as_object_mut()
-        .unwrap()
-        .remove("edge_costs");
+    json["graph"].as_object_mut().unwrap().remove("edge_costs");
     let reloaded = ProblemInstance::from_json(&json.to_string()).unwrap();
     assert_eq!(reloaded.graph.edge_cost(0), 0);
 }

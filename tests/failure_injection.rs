@@ -71,7 +71,9 @@ fn wide_fanout_exceeding_fabric() {
     let inst = ProblemInstance::new("fanout", tiny_arch(10), g, impls).unwrap();
     let s = pa().schedule(&inst).unwrap();
     validate_schedule(&inst, &s).unwrap();
-    assert!(s.total_region_resources().fits_in(&inst.architecture.device.max_res));
+    assert!(s
+        .total_region_resources()
+        .fits_in(&inst.architecture.device.max_res));
     assert!(s.hardware_task_count() < 61);
 }
 

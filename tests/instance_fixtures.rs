@@ -19,8 +19,8 @@ fn fixtures() -> Vec<std::path::PathBuf> {
 #[test]
 fn fixtures_load_and_validate() {
     for path in fixtures() {
-        let inst = ProblemInstance::load(&path)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let inst =
+            ProblemInstance::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         inst.validate().unwrap();
     }
 }
@@ -31,8 +31,7 @@ fn fixtures_schedule_with_pa() {
     for path in fixtures() {
         let inst = ProblemInstance::load(&path).unwrap();
         let s = pa.schedule(&inst).unwrap();
-        validate_schedule(&inst, &s)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        validate_schedule(&inst, &s).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(s.makespan() > 0);
     }
 }

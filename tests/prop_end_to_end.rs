@@ -16,7 +16,7 @@ fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
         let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2);
         let impls_per_task = proptest::collection::vec(
             (
-                1u64..2000,               // software time
+                1u64..2000,                                                       // software time
                 proptest::option::of((1u64..500, 0u64..900, 0u64..40, 0u64..40)), // optional hw variant
                 proptest::option::of((1u64..800, 0u64..400, 0u64..20, 0u64..20)), // second optional hw
             ),
@@ -26,16 +26,12 @@ fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
         let fabric = (0u64..1200, 0u64..60, 0u64..60);
         (Just(n), edges, impls_per_task, cores, fabric).prop_map(
             |(_n, edges, impl_specs, cores, fabric)| {
-                let device =
-                    Device::tiny_test(ResourceVec::new(fabric.0, fabric.1, fabric.2), 7);
+                let device = Device::tiny_test(ResourceVec::new(fabric.0, fabric.1, fabric.2), 7);
                 let cap = device.max_res;
                 let mut impls = ImplPool::new();
                 let mut graph = TaskGraph::new();
                 for (i, (sw_t, hw1, hw2)) in impl_specs.into_iter().enumerate() {
-                    let mut ids = vec![impls.add(Implementation::software(
-                        format!("s{i}"),
-                        sw_t,
-                    ))];
+                    let mut ids = vec![impls.add(Implementation::software(format!("s{i}"), sw_t))];
                     for (k, hw) in [hw1, hw2].into_iter().flatten().enumerate() {
                         let res = ResourceVec::new(hw.1, hw.2, hw.3);
                         if res.fits_in(&cap) && !res.is_zero() {
