@@ -44,14 +44,37 @@ impl ExecPolicy {
 
     /// Policy from `PRFPGA_THREADS` (`serial`, or a thread count), falling
     /// back to the available parallelism.
+    ///
+    /// A meaningless value — `0`, or anything that parses as neither
+    /// `serial` nor a number — falls back to the available parallelism
+    /// with a warning on stderr; it never panics and never silently means
+    /// "serial".
     pub fn from_env() -> ExecPolicy {
-        match std::env::var("PRFPGA_THREADS").as_deref() {
-            Ok("serial") | Ok("SERIAL") => ExecPolicy::Serial,
-            Ok(s) => match s.parse::<usize>() {
-                Ok(0) | Err(_) => ExecPolicy::Threads(Self::default_threads()),
-                Ok(n) => ExecPolicy::Threads(n),
+        let var = std::env::var("PRFPGA_THREADS").ok();
+        let (policy, warning) = Self::from_env_value(var.as_deref());
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
+        policy
+    }
+
+    /// The decision behind [`ExecPolicy::from_env`], side-effect free:
+    /// maps the raw variable value (`None` = unset) to a policy plus the
+    /// warning to print, if the value was meaningless.
+    pub fn from_env_value(value: Option<&str>) -> (ExecPolicy, Option<String>) {
+        match value {
+            None => (ExecPolicy::Threads(Self::default_threads()), None),
+            Some("serial") | Some("SERIAL") => (ExecPolicy::Serial, None),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n > 0 => (ExecPolicy::Threads(n), None),
+                Ok(_) | Err(_) => (
+                    ExecPolicy::Threads(Self::default_threads()),
+                    Some(format!(
+                        "PRFPGA_THREADS={s:?} is not `serial` or a positive thread \
+                         count; using the available parallelism instead"
+                    )),
+                ),
             },
-            Err(_) => ExecPolicy::Threads(Self::default_threads()),
         }
     }
 
@@ -151,6 +174,32 @@ mod tests {
         assert_eq!(ExecPolicy::Threads(0).threads(), 1);
         assert_eq!(ExecPolicy::Threads(5).threads(), 5);
         assert!(ExecPolicy::default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_values_never_panic_and_warn_on_nonsense() {
+        let auto = ExecPolicy::Threads(ExecPolicy::default_threads());
+        // Unset and well-formed values: no warning.
+        assert_eq!(ExecPolicy::from_env_value(None), (auto, None));
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("serial")),
+            (ExecPolicy::Serial, None)
+        );
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("SERIAL")),
+            (ExecPolicy::Serial, None)
+        );
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("6")),
+            (ExecPolicy::Threads(6), None)
+        );
+        // Meaningless values: fall back to available parallelism, warn.
+        for bad in ["0", "-3", "lots", "", " 4", "4 "] {
+            let (policy, warning) = ExecPolicy::from_env_value(Some(bad));
+            assert_eq!(policy, auto, "PRFPGA_THREADS={bad:?}");
+            let warning = warning.expect("nonsense must warn");
+            assert!(warning.contains("PRFPGA_THREADS"), "{warning}");
+        }
     }
 
     #[test]

@@ -113,6 +113,18 @@ pub fn phase_trace_section(results: &SuiteResults) -> String {
             "{:.1}",
             mean(&traces.iter().map(|t| t.attempts as f64).collect::<Vec<_>>())
         ));
+        // Workspace/cache counters: structural, not timing, so they also
+        // appear in the deterministic canonical report.
+        let counter_mean = |f: fn(u64, u64, u64) -> u64| {
+            let vals: Vec<f64> = traces
+                .iter()
+                .map(|t| f(t.workspace_reuses, t.fp_cache_hits, t.fp_cache_misses) as f64)
+                .collect();
+            format!("{:.1}", mean(&vals))
+        };
+        row.push(counter_mean(|r, _, _| r));
+        row.push(counter_mean(|_, h, _| h));
+        row.push(counter_mean(|_, _, m| m));
         rows.push(row);
     }
     if rows.is_empty() {
@@ -122,7 +134,7 @@ pub fn phase_trace_section(results: &SuiteResults) -> String {
     for phase in Phase::ALL {
         headers.push(phase.name());
     }
-    headers.push("attempts");
+    headers.extend(["attempts", "ws reuses", "fp hits", "fp misses"]);
     format!(
         "### PA phase breakdown — mean wall-clock per phase [ms]\n\n{}",
         markdown_table(&headers, &rows)

@@ -41,6 +41,8 @@ const USAGE: &str = "usage:
                   [--threads <n>]         (PA-R workers; default: all cores,
                                            or the PRFPGA_THREADS variable)
                   [--serial]              (force single-threaded PA-R)
+                  [--no-workspace-reuse]  (fresh buffers per pipeline run;
+                                           byte-identical, slower)
   prfpga validate --input <file.json> --schedule <schedule.json>
   prfpga devices";
 
@@ -171,14 +173,20 @@ fn schedule(args: &[String]) -> Result<(), String> {
         return Err("--trace requires --algo pa (only PA runs the traced pipeline)".into());
     }
     let threads = thread_policy(args)?;
+    // Escape hatch for the warm-workspace fast path; schedules are
+    // byte-identical either way, only throughput differs.
+    let workspace_reuse = !has(args, "--no-workspace-reuse");
 
     let t0 = std::time::Instant::now();
     let mut phase_table: Option<String> = None;
     let sched: Schedule = match algo.as_str() {
         "pa" => {
-            let r = PaScheduler::new(SchedulerConfig::default())
-                .schedule_detailed(&inst)
-                .map_err(|e| e.to_string())?;
+            let r = PaScheduler::new(SchedulerConfig {
+                workspace_reuse,
+                ..Default::default()
+            })
+            .schedule_detailed(&inst)
+            .map_err(|e| e.to_string())?;
             if trace {
                 phase_table = Some(r.trace.render_table());
             }
@@ -187,6 +195,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
         "par" => {
             let par = PaRScheduler::new(SchedulerConfig {
                 time_budget: Duration::from_millis(budget_ms),
+                workspace_reuse,
                 ..Default::default()
             });
             if threads > 1 {

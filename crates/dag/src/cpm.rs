@@ -6,9 +6,56 @@
 //! not delay the schedule, the overall makespan (length of the critical
 //! path), and the critical flag (zero slack).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use prfpga_model::{Time, TimeWindow};
 
-use crate::graph::{Dag, NodeId};
+use crate::graph::{Dag, NodeId, TopoScratch};
+
+/// Reusable buffers for [`CpmAnalysis::recompute`] and the incremental
+/// updates ([`CpmAnalysis::apply_arc`], [`CpmAnalysis::apply_duration`]).
+///
+/// The schedulers re-run CPM after every duration or dependency mutation —
+/// the single hottest path of the whole pipeline. One warm scratch makes
+/// each recomputation allocation-free, and it carries the topological
+/// order the incremental updates propagate along. A scratch is paired with
+/// the analysis it last recomputed: the incremental methods require that
+/// the same scratch was used for the previous `recompute`/`apply_*` call
+/// on the same analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CpmScratch {
+    topo: TopoScratch,
+    order: Vec<NodeId>,
+    t_min: Vec<Time>,
+    t_max: Vec<Time>,
+    /// `pos[v]` = index of `v` in `order`; valid alongside `order`.
+    pos: Vec<usize>,
+    /// Min-heap worklist for forward (earliest-start) propagation.
+    fwd: BinaryHeap<Reverse<(usize, NodeId)>>,
+    /// Max-heap worklist for backward (latest-completion) propagation.
+    bwd: BinaryHeap<(usize, NodeId)>,
+    /// Epoch marks deduplicating worklist pushes without an `O(V)` clear.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Nodes whose window changed; their critical flags need refreshing.
+    dirty: Vec<NodeId>,
+}
+
+impl CpmScratch {
+    /// Starts a worklist pass over `n` nodes: a node is enqueued iff its
+    /// stamp differs from the current epoch.
+    fn begin_epoch(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+}
 
 /// Result of a CPM pass.
 ///
@@ -24,7 +71,7 @@ use crate::graph::{Dag, NodeId};
 /// assert_eq!(cpm.windows[1].min, 5);
 /// assert!(cpm.critical.iter().all(|&c| c));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CpmAnalysis {
     /// Per-node execution window `[T_MIN, T_MAX]`.
     pub windows: Vec<TimeWindow>,
@@ -49,16 +96,46 @@ impl CpmAnalysis {
         durations: &[Time],
         release: Option<&[Time]>,
     ) -> CpmAnalysis {
+        let mut out = CpmAnalysis::default();
+        let mut scratch = CpmScratch::default();
+        out.recompute(dag, durations, release, &mut scratch);
+        out
+    }
+
+    /// [`CpmAnalysis::run_with_release`] into `self`, reusing both this
+    /// analysis' buffers and the caller-owned `scratch` — no allocation
+    /// once the buffers are warm, byte-identical results.
+    pub fn recompute(
+        &mut self,
+        dag: &Dag,
+        durations: &[Time],
+        release: Option<&[Time]>,
+        scratch: &mut CpmScratch,
+    ) {
         let n = dag.len();
         assert_eq!(durations.len(), n, "one duration per node required");
         if let Some(r) = release {
             assert_eq!(r.len(), n, "one release time per node required");
         }
-        let order = dag.topo_order();
+        let CpmScratch {
+            topo,
+            order,
+            t_min,
+            t_max,
+            pos,
+            ..
+        } = scratch;
+        dag.topo_order_into(topo, order);
+        pos.clear();
+        pos.resize(n, 0);
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
 
         // Forward pass: earliest start.
-        let mut t_min = vec![0 as Time; n];
-        for &v in &order {
+        t_min.clear();
+        t_min.resize(n, 0);
+        for &v in order.iter() {
             let mut es = release.map_or(0, |r| r[v as usize]);
             for &p in dag.preds(v) {
                 es = es.max(t_min[p as usize] + durations[p as usize]);
@@ -68,7 +145,8 @@ impl CpmAnalysis {
         let makespan = (0..n).map(|v| t_min[v] + durations[v]).max().unwrap_or(0);
 
         // Backward pass: latest completion.
-        let mut t_max = vec![makespan; n];
+        t_max.clear();
+        t_max.resize(n, makespan);
         for &v in order.iter().rev() {
             let mut lc = makespan;
             for &s in dag.succs(v) {
@@ -77,16 +155,198 @@ impl CpmAnalysis {
             t_max[v as usize] = lc;
         }
 
-        let mut windows = Vec::with_capacity(n);
-        let mut critical = Vec::with_capacity(n);
+        self.windows.clear();
+        self.windows.reserve(n);
+        self.critical.clear();
+        self.critical.reserve(n);
         for v in 0..n {
-            windows.push(TimeWindow::new(t_min[v], t_max[v]));
-            critical.push(t_max[v] - t_min[v] == durations[v]);
+            self.windows.push(TimeWindow::new(t_min[v], t_max[v]));
+            self.critical.push(t_max[v] - t_min[v] == durations[v]);
         }
-        CpmAnalysis {
-            windows,
-            makespan,
-            critical,
+        self.makespan = makespan;
+    }
+
+    /// Incremental update after `dag.add_edge(from, to)` succeeded: the
+    /// earliest starts downstream of `to` and the latest completions
+    /// upstream of `from` are re-propagated along the cached topological
+    /// order, touching only the nodes whose values actually move. Falls
+    /// back to a full [`CpmAnalysis::recompute`] when the cached order no
+    /// longer orders the new arc or the makespan changes (which shifts
+    /// every horizon-clamped latest completion).
+    ///
+    /// `scratch` must be the one used for the previous
+    /// `recompute`/`apply_*` call on this analysis, with `dag` unchanged
+    /// since except for arcs already applied through this method (and arc
+    /// removals via rollback, which never invalidate the order). Results
+    /// are byte-identical to a full recompute — earliest/latest times are
+    /// the unique fixed point of the window equations.
+    pub fn apply_arc(
+        &mut self,
+        dag: &Dag,
+        durations: &[Time],
+        from: NodeId,
+        to: NodeId,
+        scratch: &mut CpmScratch,
+    ) {
+        let n = dag.len();
+        if scratch.order.len() != n
+            || self.windows.len() != n
+            || scratch.pos[from as usize] >= scratch.pos[to as usize]
+        {
+            self.recompute(dag, durations, None, scratch);
+            return;
+        }
+        debug_assert!(order_is_valid(dag, &scratch.pos));
+        scratch.dirty.clear();
+        self.propagate_forward(dag, durations, [to], scratch);
+        if self.refresh_makespan(durations, dag, scratch) {
+            return;
+        }
+        self.propagate_backward(dag, durations, [from], scratch);
+        self.refresh_dirty_critical(durations, scratch);
+    }
+
+    /// Incremental update after `durations[v]` changed (in either
+    /// direction): earliest starts are re-propagated from `v`'s successors
+    /// and latest completions from its predecessors. Same scratch-pairing
+    /// contract and byte-identity guarantee as [`CpmAnalysis::apply_arc`];
+    /// the cached order is always still valid here since the graph itself
+    /// did not change.
+    pub fn apply_duration(
+        &mut self,
+        dag: &Dag,
+        durations: &[Time],
+        v: NodeId,
+        scratch: &mut CpmScratch,
+    ) {
+        let n = dag.len();
+        if scratch.order.len() != n || self.windows.len() != n {
+            self.recompute(dag, durations, None, scratch);
+            return;
+        }
+        debug_assert!(order_is_valid(dag, &scratch.pos));
+        scratch.dirty.clear();
+        scratch.dirty.push(v); // own slack uses the new duration
+        self.propagate_forward(dag, durations, dag.succs(v).iter().copied(), scratch);
+        if self.refresh_makespan(durations, dag, scratch) {
+            return;
+        }
+        self.propagate_backward(dag, durations, dag.preds(v).iter().copied(), scratch);
+        self.refresh_dirty_critical(durations, scratch);
+    }
+
+    /// Worklist pass in ascending topological position: each popped node
+    /// gets its earliest start recomputed exactly from its predecessors
+    /// (all of which are already final), propagating to successors only on
+    /// change.
+    fn propagate_forward(
+        &mut self,
+        dag: &Dag,
+        durations: &[Time],
+        seeds: impl IntoIterator<Item = NodeId>,
+        scratch: &mut CpmScratch,
+    ) {
+        scratch.begin_epoch(dag.len());
+        for s in seeds {
+            scratch.stamp[s as usize] = scratch.epoch;
+            scratch.fwd.push(Reverse((scratch.pos[s as usize], s)));
+        }
+        while let Some(Reverse((_, x))) = scratch.fwd.pop() {
+            let es = dag
+                .preds(x)
+                .iter()
+                .map(|&p| self.windows[p as usize].min + durations[p as usize])
+                .max()
+                .unwrap_or(0);
+            if es != self.windows[x as usize].min {
+                self.windows[x as usize].min = es;
+                scratch.dirty.push(x);
+                for &s in dag.succs(x) {
+                    if scratch.stamp[s as usize] != scratch.epoch {
+                        scratch.stamp[s as usize] = scratch.epoch;
+                        scratch.fwd.push(Reverse((scratch.pos[s as usize], s)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Worklist pass in descending topological position: each popped node
+    /// gets its latest completion recomputed exactly from its successors,
+    /// propagating to predecessors only on change. Only valid while the
+    /// makespan is unchanged.
+    fn propagate_backward(
+        &mut self,
+        dag: &Dag,
+        durations: &[Time],
+        seeds: impl IntoIterator<Item = NodeId>,
+        scratch: &mut CpmScratch,
+    ) {
+        scratch.begin_epoch(dag.len());
+        for s in seeds {
+            scratch.stamp[s as usize] = scratch.epoch;
+            scratch.bwd.push((scratch.pos[s as usize], s));
+        }
+        while let Some((_, x)) = scratch.bwd.pop() {
+            let lc = dag
+                .succs(x)
+                .iter()
+                .map(|&s| self.windows[s as usize].max - durations[s as usize])
+                .min()
+                .unwrap_or(self.makespan);
+            if lc != self.windows[x as usize].max {
+                self.windows[x as usize].max = lc;
+                scratch.dirty.push(x);
+                for &p in dag.preds(x) {
+                    if scratch.stamp[p as usize] != scratch.epoch {
+                        scratch.stamp[p as usize] = scratch.epoch;
+                        scratch.bwd.push((scratch.pos[p as usize], p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rescans the makespan after a forward pass. On change, the horizon
+    /// every slack-free latest completion is clamped to moves, so the
+    /// whole backward half is redone along the cached order (and every
+    /// critical flag with it); returns `true` in that case.
+    fn refresh_makespan(
+        &mut self,
+        durations: &[Time],
+        dag: &Dag,
+        scratch: &mut CpmScratch,
+    ) -> bool {
+        let n = dag.len();
+        let makespan = (0..n)
+            .map(|v| self.windows[v].min + durations[v])
+            .max()
+            .unwrap_or(0);
+        if makespan == self.makespan {
+            return false;
+        }
+        self.makespan = makespan;
+        for &x in scratch.order.iter().rev() {
+            let lc = dag
+                .succs(x)
+                .iter()
+                .map(|&s| self.windows[s as usize].max - durations[s as usize])
+                .min()
+                .unwrap_or(makespan);
+            self.windows[x as usize].max = lc;
+        }
+        for (v, w) in self.windows.iter().enumerate() {
+            self.critical[v] = w.max - w.min == durations[v];
+        }
+        true
+    }
+
+    /// Refreshes the critical flag of every node whose window (or own
+    /// duration) changed during the incremental passes.
+    fn refresh_dirty_critical(&mut self, durations: &[Time], scratch: &mut CpmScratch) {
+        for &x in &scratch.dirty {
+            let w = self.windows[x as usize];
+            self.critical[x as usize] = w.max - w.min == durations[x as usize];
         }
     }
 
@@ -132,6 +392,16 @@ impl CpmAnalysis {
         }
         path
     }
+}
+
+/// True when `pos` topologically orders every arc of `dag` (debug check
+/// for the incremental updates' order-validity contract).
+fn order_is_valid(dag: &Dag, pos: &[usize]) -> bool {
+    (0..dag.len() as NodeId).all(|v| {
+        dag.succs(v)
+            .iter()
+            .all(|&s| pos[v as usize] < pos[s as usize])
+    })
 }
 
 #[cfg(test)]
@@ -206,6 +476,97 @@ mod tests {
         let cpm = CpmAnalysis::run(&d, &[]);
         assert_eq!(cpm.makespan, 0);
         assert!(cpm.windows.is_empty());
+    }
+
+    #[test]
+    fn recompute_matches_run_across_reuses() {
+        // One scratch + one analysis reused across graphs of different
+        // sizes and shapes must reproduce `run_with_release` exactly.
+        let mut scratch = CpmScratch::default();
+        let mut cpm = CpmAnalysis::default();
+        let (d1, dur1) = diamond();
+        let release = vec![0, 10, 0, 0];
+        let cases: Vec<(Dag, Vec<Time>, Option<Vec<Time>>)> = vec![
+            (d1.clone(), dur1.clone(), None),
+            (d1, dur1, Some(release)),
+            (Dag::with_nodes(0), vec![], None),
+            (
+                {
+                    let mut c = Dag::with_nodes(6);
+                    for i in 0..5 {
+                        c.add_edge(i, i + 1).unwrap();
+                    }
+                    c
+                },
+                vec![1, 2, 3, 4, 5, 6],
+                None,
+            ),
+        ];
+        for (dag, dur, rel) in cases {
+            cpm.recompute(&dag, &dur, rel.as_deref(), &mut scratch);
+            assert_eq!(
+                cpm,
+                CpmAnalysis::run_with_release(&dag, &dur, rel.as_deref())
+            );
+        }
+    }
+
+    #[test]
+    fn apply_arc_matches_full_recompute() {
+        // Start from two parallel chains 0->1 and 2->3, then cross-link
+        // them arc by arc; after every insertion the incremental analysis
+        // must equal a from-scratch run.
+        let mut dag = Dag::with_nodes(6);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let durations = vec![4, 2, 7, 1, 3, 5];
+        let mut scratch = CpmScratch::default();
+        let mut cpm = CpmAnalysis::default();
+        cpm.recompute(&dag, &durations, None, &mut scratch);
+        for (u, v) in [(1, 3), (0, 2), (3, 4), (4, 5), (1, 5)] {
+            dag.add_edge(u, v).unwrap();
+            cpm.apply_arc(&dag, &durations, u, v, &mut scratch);
+            assert_eq!(
+                cpm,
+                CpmAnalysis::run(&dag, &durations),
+                "after arc {u}->{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_arc_against_stale_order_falls_back() {
+        // Node ids against topological direction: the cached order (by id)
+        // cannot order the new arc 2 -> 0, forcing the full-recompute
+        // fallback — which must still produce the exact analysis.
+        let mut dag = Dag::with_nodes(3);
+        dag.add_edge(1, 2).unwrap();
+        let durations = vec![5, 3, 2];
+        let mut scratch = CpmScratch::default();
+        let mut cpm = CpmAnalysis::default();
+        cpm.recompute(&dag, &durations, None, &mut scratch);
+        dag.add_edge(2, 0).unwrap();
+        cpm.apply_arc(&dag, &durations, 2, 0, &mut scratch);
+        assert_eq!(cpm, CpmAnalysis::run(&dag, &durations));
+    }
+
+    #[test]
+    fn apply_duration_matches_full_recompute() {
+        // Diamond with duration changes in both directions, including ones
+        // that raise and then lower the makespan.
+        let (dag, mut durations) = diamond();
+        let mut scratch = CpmScratch::default();
+        let mut cpm = CpmAnalysis::default();
+        cpm.recompute(&dag, &durations, None, &mut scratch);
+        for (v, d) in [(2usize, 50), (1, 1), (2, 3), (0, 9), (3, 0)] {
+            durations[v] = d;
+            cpm.apply_duration(&dag, &durations, v as NodeId, &mut scratch);
+            assert_eq!(
+                cpm,
+                CpmAnalysis::run(&dag, &durations),
+                "after durations[{v}] = {d}"
+            );
+        }
     }
 
     #[test]

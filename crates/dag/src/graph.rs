@@ -1,8 +1,18 @@
 //! Compact mutable DAG with cycle-safe edge insertion.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
 use prfpga_model::{TaskGraph, TaskId};
+
+/// Reusable buffers for [`Dag::topo_order_into`].
+#[derive(Debug, Clone, Default)]
+pub struct TopoScratch {
+    indeg: Vec<u32>,
+    ready: BinaryHeap<Reverse<NodeId>>,
+}
 
 /// Node index; for DAGs built from a [`TaskGraph`] it equals the task index.
 pub type NodeId = u32;
@@ -24,6 +34,18 @@ impl std::fmt::Display for CycleError {
 
 impl std::error::Error for CycleError {}
 
+/// A size snapshot of a [`Dag`], taken with [`Dag::checkpoint`] and
+/// restored with [`Dag::rollback`].
+///
+/// Node and edge insertion are append-only, so a checkpoint is just the
+/// (node count, journal length) pair at snapshot time; rolling back pops
+/// everything inserted afterwards in exact reverse order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagCheckpoint {
+    nodes: usize,
+    edges: usize,
+}
+
 /// Adjacency-list DAG supporting dynamic, cycle-checked edge insertion.
 ///
 /// Duplicate edges are silently ignored: the schedulers freely re-insert
@@ -33,6 +55,10 @@ pub struct Dag {
     preds: Vec<Vec<NodeId>>,
     succs: Vec<Vec<NodeId>>,
     edge_count: usize,
+    /// Insertion journal of the (deduplicated) edges, in order. Rollback
+    /// unwinds its tail; duplicate insertions never journal.
+    #[serde(default)]
+    journal: Vec<(NodeId, NodeId)>,
 }
 
 impl Dag {
@@ -42,6 +68,7 @@ impl Dag {
             preds: vec![Vec::new(); n],
             succs: vec![Vec::new(); n],
             edge_count: 0,
+            journal: Vec::new(),
         }
     }
 
@@ -120,37 +147,81 @@ impl Dag {
         self.succs[from as usize].push(to);
         self.preds[to as usize].push(from);
         self.edge_count += 1;
+        self.journal.push((from, to));
         Ok(())
+    }
+
+    /// Snapshot of the current node and edge counts, for [`Dag::rollback`].
+    pub fn checkpoint(&self) -> DagCheckpoint {
+        DagCheckpoint {
+            nodes: self.len(),
+            edges: self.journal.len(),
+        }
+    }
+
+    /// Rewinds the graph to a [`checkpoint`](Dag::checkpoint) taken on this
+    /// graph: every edge and node inserted since is removed, in exact
+    /// reverse insertion order. Buffer capacity is retained, so the
+    /// schedulers' per-iteration sequencing arcs cost no allocation to
+    /// undo.
+    ///
+    /// Panics when the checkpoint describes a larger graph than the current
+    /// one (it was taken on a different graph, or `rollback` already passed
+    /// it).
+    pub fn rollback(&mut self, cp: DagCheckpoint) {
+        assert!(
+            cp.nodes <= self.len() && cp.edges <= self.journal.len(),
+            "checkpoint does not describe a prefix of this graph"
+        );
+        while self.journal.len() > cp.edges {
+            let (from, to) = self.journal.pop().expect("journal length checked");
+            // Insertion appended to both adjacency lists, and we unwind in
+            // reverse insertion order, so the entry sits at each tail.
+            let s = self.succs[from as usize].pop();
+            debug_assert_eq!(s, Some(to));
+            let p = self.preds[to as usize].pop();
+            debug_assert_eq!(p, Some(from));
+            self.edge_count -= 1;
+        }
+        self.preds.truncate(cp.nodes);
+        self.succs.truncate(cp.nodes);
     }
 
     /// Kahn topological order; deterministic (smallest-id first among
     /// ready nodes) so every scheduler run is reproducible.
     pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        let mut scratch = TopoScratch::default();
+        self.topo_order_into(&mut scratch, &mut order);
+        order
+    }
+
+    /// [`Dag::topo_order`] into caller-owned buffers — the allocation-free
+    /// variant the schedulers' CPM hot path uses.
+    pub fn topo_order_into(&self, scratch: &mut TopoScratch, order: &mut Vec<NodeId>) {
         let n = self.len();
-        let mut indeg: Vec<u32> = (0..n).map(|v| self.preds[v].len() as u32).collect();
-        // Binary heap would be O(E log V); for determinism a sorted ready
-        // list is enough and the graphs are small. Use a BinaryHeap on
-        // Reverse ids for O(log) pops.
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let mut ready: BinaryHeap<Reverse<NodeId>> = indeg
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(v, _)| Reverse(v as NodeId))
-            .collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(Reverse(v)) = ready.pop() {
+        order.clear();
+        order.reserve(n);
+        scratch.indeg.clear();
+        scratch
+            .indeg
+            .extend((0..n).map(|v| self.preds[v].len() as u32));
+        scratch.ready.clear();
+        for (v, &d) in scratch.indeg.iter().enumerate() {
+            if d == 0 {
+                scratch.ready.push(Reverse(v as NodeId));
+            }
+        }
+        while let Some(Reverse(v)) = scratch.ready.pop() {
             order.push(v);
             for &s in &self.succs[v as usize] {
-                indeg[s as usize] -= 1;
-                if indeg[s as usize] == 0 {
-                    ready.push(Reverse(s));
+                scratch.indeg[s as usize] -= 1;
+                if scratch.indeg[s as usize] == 0 {
+                    scratch.ready.push(Reverse(s));
                 }
             }
         }
         debug_assert_eq!(order.len(), n, "DAG invariant violated: cycle present");
-        order
     }
 
     /// Source nodes (no predecessors).
@@ -271,5 +342,93 @@ mod tests {
         assert!(d.is_empty());
         assert!(d.topo_order().is_empty());
         assert!(d.sources().is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_exact_graph() {
+        let mut d = diamond();
+        let base = d.clone();
+        let cp = d.checkpoint();
+        d.add_edge(0, 3).unwrap();
+        d.add_edge(1, 2).unwrap();
+        let v = d.add_node();
+        d.add_edge(3, v).unwrap();
+        assert_eq!(d.edge_count(), 7);
+        d.rollback(cp);
+        assert_eq!(d, base, "rollback must restore the checkpointed graph");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.edge_count(), 4);
+        // The graph stays fully usable after rollback.
+        d.add_edge(0, 3).unwrap();
+        assert!(d.has_edge(0, 3));
+    }
+
+    #[test]
+    fn rollback_is_repeatable_and_skips_duplicates() {
+        let mut d = diamond();
+        let cp = d.checkpoint();
+        for _ in 0..3 {
+            d.add_edge(0, 1).unwrap(); // duplicate: not journaled
+            d.add_edge(0, 3).unwrap();
+            assert_eq!(d.edge_count(), 5);
+            d.rollback(cp);
+            assert_eq!(d.edge_count(), 4);
+            assert!(!d.has_edge(0, 3));
+            assert!(d.has_edge(0, 1), "base edges survive rollback");
+        }
+        // Rolling back with nothing to unwind is a no-op.
+        d.rollback(cp);
+        assert_eq!(d, diamond());
+    }
+
+    #[test]
+    fn rollback_equals_rebuild() {
+        // A rolled-back DAG is indistinguishable from a freshly built one:
+        // same adjacency, same topological order, same equality.
+        let mut g = TaskGraph::new();
+        use prfpga_model::ImplId;
+        let ids: Vec<_> = (0..6)
+            .map(|i| g.add_task(format!("t{i}"), vec![ImplId(0)]))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g.add_edge(ids[0], ids[3]);
+        let mut d = Dag::from_taskgraph(&g).unwrap();
+        let cp = d.checkpoint();
+        d.add_edge(1, 4).unwrap();
+        d.add_edge(2, 5).unwrap();
+        d.rollback(cp);
+        let fresh = Dag::from_taskgraph(&g).unwrap();
+        assert_eq!(d, fresh);
+        assert_eq!(d.topo_order(), fresh.topo_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn rollback_rejects_foreign_checkpoint() {
+        let big = diamond();
+        let cp = big.checkpoint();
+        let mut small = Dag::with_nodes(2);
+        small.rollback(cp);
+    }
+
+    #[test]
+    fn topo_order_into_matches_allocating_variant() {
+        let d = diamond();
+        let mut scratch = TopoScratch::default();
+        let mut order = vec![99; 10]; // stale content must be cleared
+        d.topo_order_into(&mut scratch, &mut order);
+        assert_eq!(order, d.topo_order());
+        // Reuse across differently-sized graphs.
+        let chain = {
+            let mut c = Dag::with_nodes(6);
+            for i in 0..5 {
+                c.add_edge(i, i + 1).unwrap();
+            }
+            c
+        };
+        chain.topo_order_into(&mut scratch, &mut order);
+        assert_eq!(order, chain.topo_order());
     }
 }

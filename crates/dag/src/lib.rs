@@ -24,6 +24,6 @@ pub mod graph;
 pub mod levels;
 pub mod reach;
 
-pub use cpm::CpmAnalysis;
-pub use graph::{CycleError, Dag, NodeId};
+pub use cpm::{CpmAnalysis, CpmScratch};
+pub use graph::{CycleError, Dag, DagCheckpoint, NodeId, TopoScratch};
 pub use levels::LevelProfile;

@@ -1,31 +1,70 @@
 //! Reachability queries over a [`Dag`].
 
+use std::cell::RefCell;
+
 use crate::graph::{Dag, NodeId};
+
+/// Thread-local DFS buffers for [`is_reachable`]. The schedulers probe
+/// reachability once per candidate (region, task) pair — by far the most
+/// frequent DAG query — so the visited set uses epoch marks instead of a
+/// fresh allocation (or an `O(V)` clear) per call.
+#[derive(Default)]
+struct ReachScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+    stack: Vec<NodeId>,
+}
+
+impl ReachScratch {
+    /// Starts a query over `n` nodes: bumps the epoch (an unmarked node is
+    /// one whose mark differs from the current epoch) and sizes the
+    /// buffers.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: old marks could alias the new epoch.
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        self.stack.clear();
+    }
+}
+
+thread_local! {
+    static REACH_SCRATCH: RefCell<ReachScratch> = RefCell::new(ReachScratch::default());
+}
 
 /// True when `to` is reachable from `from` by following arcs forward.
 ///
 /// Iterative DFS; `O(V + E)` worst case, but sequencing-arc insertions in
 /// the schedulers overwhelmingly probe short chains, so the early exit
-/// dominates in practice.
+/// dominates in practice. Allocation-free once the thread's scratch is
+/// warm.
 pub fn is_reachable(dag: &Dag, from: NodeId, to: NodeId) -> bool {
     if from == to {
         return true;
     }
-    let mut visited = vec![false; dag.len()];
-    let mut stack = vec![from];
-    visited[from as usize] = true;
-    while let Some(v) = stack.pop() {
-        for &s in dag.succs(v) {
-            if s == to {
-                return true;
-            }
-            if !visited[s as usize] {
-                visited[s as usize] = true;
-                stack.push(s);
+    REACH_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.begin(dag.len());
+        scratch.stack.push(from);
+        scratch.mark[from as usize] = scratch.epoch;
+        while let Some(v) = scratch.stack.pop() {
+            for &s in dag.succs(v) {
+                if s == to {
+                    return true;
+                }
+                if scratch.mark[s as usize] != scratch.epoch {
+                    scratch.mark[s as usize] = scratch.epoch;
+                    scratch.stack.push(s);
+                }
             }
         }
-    }
-    false
+        false
+    })
 }
 
 /// All nodes reachable from `from` (excluding `from` itself unless it lies

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use prfpga_dag::{CpmAnalysis, Dag};
+use prfpga_dag::{CpmAnalysis, CpmScratch, Dag};
 use prfpga_model::Time;
 
 /// Strategy: a random DAG on `n` nodes where edges only go from lower to
@@ -89,6 +89,35 @@ proptest! {
         let _ = dag.add_edge(a, b); // may fail if it would close a cycle
         let order = dag.topo_order();
         prop_assert_eq!(order.len(), dag.len());
+    }
+
+    /// Incremental CPM maintenance equals a from-scratch run after every
+    /// mutation of a random interleaved sequence of arc insertions and
+    /// duration changes — the contract the schedulers' workspace-reuse
+    /// fast path rests on.
+    #[test]
+    fn incremental_cpm_equals_full_recompute(
+        (mut dag, mut durs) in random_dag(),
+        muts in proptest::collection::vec((0usize..40, 0usize..40, 0u64..1000), 1..25),
+    ) {
+        let n = dag.len();
+        let mut scratch = CpmScratch::default();
+        let mut cpm = CpmAnalysis::default();
+        cpm.recompute(&dag, &durs, None, &mut scratch);
+        for (step, (a, b, d)) in muts.into_iter().enumerate() {
+            let (a, b) = (a % n, b % n);
+            if a != b && d % 2 == 0 {
+                // Arc insertion (skipped when it would close a cycle —
+                // matching how the schedulers probe before inserting).
+                let (lo, hi) = ((a.min(b)) as u32, (a.max(b)) as u32);
+                dag.add_edge(lo, hi).unwrap();
+                cpm.apply_arc(&dag, &durs, lo, hi, &mut scratch);
+            } else {
+                durs[a] = d;
+                cpm.apply_duration(&dag, &durs, a as u32, &mut scratch);
+            }
+            prop_assert_eq!(&cpm, &CpmAnalysis::run(&dag, &durs), "step {}", step);
+        }
     }
 
     /// Release times only ever push windows later, never earlier.

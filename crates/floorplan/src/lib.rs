@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod candidates;
 pub mod rect;
 pub mod render;
 pub mod solver;
 
+pub use cache::{CacheStats, FeasibilityCache, SharedFeasibilityCache, DEFAULT_CACHE_CAPACITY};
 pub use rect::Rect;
 pub use render::render_fabric;
 pub use solver::{FloorplanOutcome, Floorplanner, FloorplannerConfig};

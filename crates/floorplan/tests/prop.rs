@@ -6,8 +6,13 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use prfpga_floorplan::{FloorplanOutcome, Floorplanner, FloorplannerConfig};
-use prfpga_model::{FabricColumn, FabricGeometry, ResourceVec};
+use prfpga_floorplan::{
+    FeasibilityCache, FloorplanOutcome, Floorplanner, FloorplannerConfig, DEFAULT_CACHE_CAPACITY,
+};
+use prfpga_model::{Device, FabricColumn, FabricGeometry, ResourceVec};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn planner() -> Floorplanner {
     Floorplanner::new(FloorplannerConfig {
@@ -85,6 +90,56 @@ proptest! {
             // but tolerate them to keep the property about logic only.
             _ => {}
         }
+    }
+
+    /// The feasibility cache is transparent: its answer always carries the
+    /// same verdict as a cold planner solve — on the first (miss) query,
+    /// on a repeat (hit) query, and on any permutation of the demands —
+    /// including Infeasible verdicts, and every Feasible witness it hands
+    /// back is sound for the demand order actually asked.
+    #[test]
+    fn cache_verdicts_match_cold_solve(geom in arb_geometry(),
+        demands in arb_demands(), seed in 0u64..u64::MAX) {
+        let device = Device {
+            name: "prop".into(),
+            max_res: geom.total_resources(),
+            bits_per_unit: [1, 1, 1],
+            rec_freq: 1,
+            geometry: Some(geom.clone()),
+        };
+        let cold = planner().check_device(&device, &demands);
+        // Timeouts never cache and do not occur at these sizes anyway.
+        prop_assume!(!matches!(cold, FloorplanOutcome::Timeout));
+
+        let sound = |rects: &[prfpga_floorplan::Rect], asked: &[ResourceVec]| {
+            rects.len() == asked.len()
+                && rects.iter().enumerate().all(|(i, r)| {
+                    asked[i].fits_in(&r.resources(&geom))
+                        && rects.iter().skip(i + 1).all(|r2| !r.overlaps(r2))
+                })
+        };
+
+        let mut cache = FeasibilityCache::new(planner(), DEFAULT_CACHE_CAPACITY);
+        for round in 0..2 {
+            let got = cache.check_device(&device, &demands);
+            prop_assert_eq!(got.is_feasible(), cold.is_feasible(), "round {round}");
+            if let FloorplanOutcome::Feasible(rects) = &got {
+                prop_assert!(sound(rects, &demands), "round {round}: {rects:?}");
+            }
+        }
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+
+        let mut shuffled = demands.clone();
+        shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        let cold_shuffled = planner().check_device(&device, &shuffled);
+        let got = cache.check_device(&device, &shuffled);
+        prop_assert_eq!(got.is_feasible(), cold_shuffled.is_feasible());
+        if let FloorplanOutcome::Feasible(rects) = &got {
+            prop_assert!(sound(rects, &shuffled), "shuffled witness unsound: {rects:?}");
+        }
+        // Any permutation canonicalizes to the already-cached key.
+        prop_assert_eq!(cache.stats().misses, 1);
     }
 
     /// Single-region queries agree with the candidate enumeration: a lone

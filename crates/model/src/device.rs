@@ -156,8 +156,17 @@ impl Device {
     /// (used by the feasibility-check restart loop, paper §V-H).
     pub fn with_scaled_capacity(&self, num: u64, den: u64) -> Device {
         let mut d = self.clone();
-        d.max_res = d.max_res.scale_frac_floor(num, den);
+        d.scale_capacity_in_place(num, den);
         d
+    }
+
+    /// [`Device::with_scaled_capacity`] without the clone: scales `maxRes`
+    /// in place, leaving name/geometry untouched. The scheduler restart
+    /// loops ratchet one owned device down with this instead of cloning a
+    /// fresh device (and its geometry) per attempt.
+    #[inline]
+    pub fn scale_capacity_in_place(&mut self, num: u64, den: u64) {
+        self.max_res = self.max_res.scale_frac_floor(num, den);
     }
 
     /// 7-series per-unit bit costs derived from frame counts per column:

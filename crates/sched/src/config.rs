@@ -66,6 +66,13 @@ pub struct SchedulerConfig {
     /// already matches are preferred during regions definition. Off by
     /// default — the paper's PA does not exploit reuse (§VII-A).
     pub module_reuse: bool,
+    /// Reuse one [`SchedWorkspace`] across restarts/iterations and memoize
+    /// floorplan-feasibility verdicts. Results are byte-identical either
+    /// way; the switch exists so the fresh-allocation path stays testable
+    /// as the differential baseline.
+    ///
+    /// [`SchedWorkspace`]: crate::SchedWorkspace
+    pub workspace_reuse: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -81,6 +88,7 @@ impl Default for SchedulerConfig {
             max_iterations: 0,
             seed: 0xAC0_FFEE,
             module_reuse: false,
+            workspace_reuse: true,
         }
     }
 }

@@ -4,14 +4,35 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use prfpga_floorplan::{FloorplanOutcome, Floorplanner, Rect};
+use prfpga_floorplan::{
+    FeasibilityCache, FloorplanOutcome, Floorplanner, Rect, DEFAULT_CACHE_CAPACITY,
+};
 use prfpga_model::{Device, ProblemInstance, ResourceVec, Schedule};
+
+use prfpga_model::ImplId;
 
 use crate::config::{OrderingPolicy, SchedulerConfig};
 use crate::error::SchedError;
+use crate::metrics::MetricWeights;
 use crate::phases::{impl_select, reconf, regions, sw_balance, sw_map};
-use crate::state::SchedState;
+use crate::state::{SchedState, SchedWorkspace};
 use crate::trace::{ObserverHandle, Phase, PhaseTrace, TraceRecorder};
+
+/// Memoized phase-A output for one `(instance, virtual capacity)` pair.
+///
+/// Implementation selection depends only on the instance and the virtual
+/// device capacity, so a loop that re-runs the pipeline at an unchanged
+/// capacity (PA-R between ratchet shrinks) can replay the previous choice
+/// instead of re-scoring every implementation. The memo is owned by the
+/// scheduling loop — never by the workspace — because a workspace may
+/// legally be re-targeted at a different instance with the same capacity,
+/// which would silently serve a stale selection.
+#[derive(Debug, Default)]
+pub(crate) struct ImplSelectMemo {
+    /// Capacity the entry was computed against, plus the derived weights.
+    cached: Option<(ResourceVec, MetricWeights)>,
+    choice: Vec<ImplId>,
+}
 
 /// Result of a PA run, with the timing split reported in the paper's
 /// Table I (scheduling time vs floorplanning time).
@@ -40,12 +61,16 @@ pub struct PaResult {
 #[derive(Debug, Clone, Default)]
 pub struct PaScheduler {
     config: SchedulerConfig,
+    /// Built once from `config.floorplan` so the restart loop does not
+    /// re-clone the floorplanner configuration per call.
+    planner: Floorplanner,
 }
 
 impl PaScheduler {
     /// Creates a PA scheduler.
     pub fn new(config: SchedulerConfig) -> Self {
-        PaScheduler { config }
+        let planner = Floorplanner::new(config.floorplan.clone());
+        PaScheduler { config, planner }
     }
 
     /// Schedules `inst`, returning only the schedule.
@@ -64,34 +89,66 @@ impl PaScheduler {
         inst.validate()
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
 
-        let planner = Floorplanner::new(self.config.floorplan.clone());
         let real_device = &inst.architecture.device;
+        // One owned device, ratcheted down in place — the restart loop no
+        // longer clones name/geometry per attempt.
         let mut virtual_device = real_device.clone();
         let mut scheduling_time = Duration::ZERO;
         let mut floorplanning_time = Duration::ZERO;
         let recorder = Arc::new(TraceRecorder::new());
         let observer = ObserverHandle::new(recorder.clone());
+        // Per-call reuse machinery, both gated on `workspace_reuse` so the
+        // fresh-allocation path stays available as a differential baseline.
+        let mut ws = SchedWorkspace::new();
+        let mut cache = self
+            .config
+            .workspace_reuse
+            .then(|| FeasibilityCache::new(self.planner.clone(), DEFAULT_CACHE_CAPACITY));
+
+        let run_pipeline = |ws: &mut SchedWorkspace, device: &Device| {
+            if self.config.workspace_reuse {
+                // No memo here: the restart loop shrinks the capacity on
+                // every retry, so no two attempts share a phase-A input.
+                do_schedule_in(
+                    ws,
+                    inst,
+                    device,
+                    &self.config,
+                    self.config.ordering,
+                    &observer,
+                    None,
+                )
+            } else {
+                do_schedule_traced(inst, device, &self.config, self.config.ordering, &observer)
+            }
+        };
+        let report_stats = |ws: &SchedWorkspace, cache: &Option<FeasibilityCache>| {
+            let stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+            observer.workspace_stats(ws.reuses(), stats.hits, stats.misses);
+        };
 
         for attempt in 1..=self.config.max_attempts.max(1) {
             observer.pipeline_started(attempt);
             let t0 = Instant::now();
-            let schedule = do_schedule_traced(
-                inst,
-                &virtual_device,
-                &self.config,
-                self.config.ordering,
-                &observer,
-            );
+            let schedule = run_pipeline(&mut ws, &virtual_device);
             scheduling_time += t0.elapsed();
 
             let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
             let t1 = Instant::now();
-            let outcome = planner.check_device(real_device, &demands);
+            // Memoized feasibility: within one call only Infeasible
+            // verdicts can repeat (a Feasible one would have ended the
+            // loop), so any Feasible witness returned below comes from a
+            // cold solve — byte-identical to the uncached path.
+            let outcome = match cache.as_mut() {
+                Some(c) => c.check_device(real_device, &demands),
+                None => self.planner.check_device(real_device, &demands),
+            };
             let fp_elapsed = t1.elapsed();
             floorplanning_time += fp_elapsed;
             observer.phase_finished(Phase::Floorplan, fp_elapsed);
 
             if let FloorplanOutcome::Feasible(rects) = outcome {
+                report_stats(&ws, &cache);
                 return Ok(PaResult {
                     schedule,
                     scheduling_time,
@@ -102,7 +159,7 @@ impl PaScheduler {
                 });
             }
             let (num, den) = self.config.shrink_factor;
-            virtual_device = virtual_device.with_scaled_capacity(num, den);
+            virtual_device.scale_capacity_in_place(num, den);
         }
 
         // All-software fallback: zero virtual capacity forces every task to
@@ -110,19 +167,11 @@ impl PaScheduler {
         let attempts = self.config.max_attempts.max(1) + 1;
         observer.pipeline_started(attempts);
         let t0 = Instant::now();
-        let zero_device = Device {
-            max_res: ResourceVec::ZERO,
-            ..real_device.clone()
-        };
-        let schedule = do_schedule_traced(
-            inst,
-            &zero_device,
-            &self.config,
-            self.config.ordering,
-            &observer,
-        );
+        virtual_device.max_res = ResourceVec::ZERO;
+        let schedule = run_pipeline(&mut ws, &virtual_device);
         scheduling_time += t0.elapsed();
         debug_assert!(schedule.regions.is_empty());
+        report_stats(&ws, &cache);
         Ok(PaResult {
             schedule,
             scheduling_time,
@@ -152,7 +201,9 @@ pub(crate) fn do_schedule(
     )
 }
 
-/// [`do_schedule`] with phase events reported to `observer`.
+/// [`do_schedule`] with phase events reported to `observer`. Runs against
+/// a throwaway workspace, so every buffer is freshly allocated — the
+/// differential baseline for [`do_schedule_in`].
 pub(crate) fn do_schedule_traced(
     inst: &ProblemInstance,
     virtual_device: &Device,
@@ -160,17 +211,79 @@ pub(crate) fn do_schedule_traced(
     ordering: OrderingPolicy,
     observer: &ObserverHandle,
 ) -> Schedule {
-    // Phase A — implementation selection.
-    let (weights, choice) =
-        impl_select::run_phase(inst, virtual_device, config.cost_policy, observer);
+    let mut ws = SchedWorkspace::new();
+    do_schedule_in(
+        &mut ws,
+        inst,
+        virtual_device,
+        config,
+        ordering,
+        observer,
+        None,
+    )
+}
+
+/// The scheduling pipeline against caller-owned buffers: `ws` supplies
+/// every heap structure of the run and receives them back afterwards, so
+/// a loop threading one workspace through repeated calls is
+/// allocation-free in the steady state. Byte-identical to
+/// [`do_schedule_traced`] by construction.
+pub(crate) fn do_schedule_in(
+    ws: &mut SchedWorkspace,
+    inst: &ProblemInstance,
+    virtual_device: &Device,
+    config: &SchedulerConfig,
+    ordering: OrderingPolicy,
+    observer: &ObserverHandle,
+    memo: Option<&mut ImplSelectMemo>,
+) -> Schedule {
+    // Phase A — implementation selection, into the workspace's buffer.
+    // A memo hit replays the stored choice; phase A is deterministic in
+    // `(inst, max_res)`, so the replay is byte-identical to re-running it.
+    let mut choice = ws.take_impl_choice();
+    let weights = match memo {
+        Some(memo)
+            if memo
+                .cached
+                .as_ref()
+                .is_some_and(|(res, _)| *res == virtual_device.max_res) =>
+        {
+            let t0 = Instant::now();
+            choice.clear();
+            choice.extend_from_slice(&memo.choice);
+            let weights = memo.cached.as_ref().expect("guard checked").1.clone();
+            observer.phase_finished(Phase::ImplSelect, t0.elapsed());
+            weights
+        }
+        memo => {
+            let weights = impl_select::run_phase_into(
+                inst,
+                virtual_device,
+                config.cost_policy,
+                observer,
+                &mut choice,
+            );
+            if let Some(memo) = memo {
+                memo.cached = Some((virtual_device.max_res, weights.clone()));
+                memo.choice.clear();
+                memo.choice.extend_from_slice(&choice);
+            }
+            weights
+        }
+    };
 
     // Phase B — critical path extraction (CPM inside the state).
     let t0 = Instant::now();
-    let mut state = SchedState::new(inst, virtual_device.clone(), weights, choice)
+    let mut state = SchedState::from_workspace(inst, virtual_device, weights, choice, ws)
         .expect("instance validated by the driver");
     observer.phase_finished(Phase::CriticalPath, t0.elapsed());
     state.module_reuse = config.module_reuse;
     state.observer = observer.clone();
+    // The workspace-reuse fast path also maintains CPM incrementally per
+    // mutation instead of recomputing from scratch; identical windows
+    // either way, so `workspace_reuse: false` stays a faithful
+    // fresh-allocation oracle for the differential tests.
+    state.incremental = config.workspace_reuse;
 
     // Phase C — regions definition.
     regions::define_regions(&mut state, ordering);
@@ -187,7 +300,9 @@ pub(crate) fn do_schedule_traced(
     sw_map::map_software_tasks(&mut state);
 
     // Phase G — reconfiguration scheduling / timing realization.
-    reconf::realize_schedule(&state, config.module_reuse)
+    let schedule = reconf::realize_schedule(&state, config.module_reuse);
+    state.recycle(ws);
+    schedule
 }
 
 #[cfg(test)]
@@ -325,6 +440,71 @@ mod tests {
             "phase timings ({traced:?}) must cover >=95% of scheduling_time ({:?})",
             r.scheduling_time
         );
+    }
+
+    #[test]
+    fn floorplan_cache_hits_under_capacity_ratchet() {
+        use prfpga_model::{
+            Device, FabricColumn, FabricGeometry, ImplPool, Implementation, ResourceVec, TaskGraph,
+        };
+        // The geometry offers a single CLB column (50 CLB placeable), but
+        // the schedulable capacity claims 200 CLB: 60-CLB regions pass
+        // every capacity check yet can never be floorplanned. The restart
+        // ratchet therefore reproduces the same demand multiset across
+        // several attempts — exactly the repetition the memoization cache
+        // exists for.
+        let mut device = Device::tiny_test(ResourceVec::new(200, 0, 0), 10);
+        device.geometry = Some(FabricGeometry {
+            columns: vec![FabricColumn::Clb],
+            rows: 1,
+        });
+        let mut pool = ImplPool::new();
+        let mut g = TaskGraph::new();
+        for i in 0..2 {
+            let sw = pool.add(Implementation::software(format!("s{i}"), 1000));
+            let hw = pool.add(Implementation::hardware(
+                format!("h{i}"),
+                10,
+                ResourceVec::new(60, 0, 0),
+            ));
+            g.add_task(format!("t{i}"), vec![sw, hw]);
+        }
+        let inst = ProblemInstance::new("ratchet", Architecture::new(1, device), g, pool).unwrap();
+
+        let pa = PaScheduler::new(SchedulerConfig::default());
+        let r = pa.schedule_detailed(&inst).unwrap();
+        validate_schedule(&inst, &r.schedule).expect("valid");
+        assert!(
+            r.schedule.regions.is_empty(),
+            "unplaceable regions end in the all-software fallback"
+        );
+        assert!(
+            r.trace.fp_cache_hits > 0,
+            "repeated demand multisets must hit the cache (trace: {:?})",
+            r.trace
+        );
+        assert!(
+            r.trace.fp_cache_misses > 0,
+            "first query of each multiset is cold"
+        );
+        assert_eq!(
+            r.trace.workspace_reuses,
+            (r.attempts - 1) as u64,
+            "every run after the first rewinds the workspace"
+        );
+
+        // The fresh-allocation baseline must agree byte-for-byte and
+        // report no reuse.
+        let fresh = PaScheduler::new(SchedulerConfig {
+            workspace_reuse: false,
+            ..Default::default()
+        })
+        .schedule_detailed(&inst)
+        .unwrap();
+        assert_eq!(fresh.schedule, r.schedule);
+        assert_eq!(fresh.attempts, r.attempts);
+        assert_eq!(fresh.trace.fp_cache_hits, 0);
+        assert_eq!(fresh.trace.workspace_reuses, 0);
     }
 
     #[test]

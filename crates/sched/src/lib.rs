@@ -48,5 +48,6 @@ pub mod trace;
 pub use config::{CostPolicy, OrderingPolicy, SchedulerConfig};
 pub use driver::{PaResult, PaScheduler};
 pub use error::SchedError;
-pub use randomized::{PaRResult, PaRScheduler};
+pub use randomized::{ConvergencePoint, PaRResult, PaRScheduler};
+pub use state::{SchedState, SchedWorkspace};
 pub use trace::{ObserverHandle, Phase, PhaseObserver, PhaseTrace, TraceRecorder};

@@ -41,11 +41,25 @@ pub fn run_phase(
     policy: CostPolicy,
     observer: &ObserverHandle,
 ) -> (MetricWeights, Vec<ImplId>) {
+    let mut choice = Vec::new();
+    let weights = run_phase_into(inst, device, policy, observer, &mut choice);
+    (weights, choice)
+}
+
+/// [`run_phase`] into a caller-owned choice buffer — the allocation-free
+/// variant the workspace-reusing scheduler loops call.
+pub fn run_phase_into(
+    inst: &ProblemInstance,
+    device: &Device,
+    policy: CostPolicy,
+    observer: &ObserverHandle,
+    choice: &mut Vec<ImplId>,
+) -> MetricWeights {
     let t0 = Instant::now();
     let weights = MetricWeights::new(&device.max_res, max_t(inst));
-    let choice = select_implementations(inst, &weights, policy);
+    select_implementations_into(inst, &weights, policy, choice);
     observer.phase_finished(Phase::ImplSelect, t0.elapsed());
-    (weights, choice)
+    weights
 }
 
 /// Runs implementation selection, returning the chosen implementation per
@@ -55,22 +69,32 @@ pub fn select_implementations(
     weights: &MetricWeights,
     policy: CostPolicy,
 ) -> Vec<ImplId> {
-    inst.graph
-        .task_ids()
-        .map(|t| {
-            // Cheapest hardware implementation by eq. 3 (ties: lower id).
-            let best_hw = inst.hw_impls(t).min_by_key(|&i| {
-                let imp = inst.impls.get(i);
-                (weights.cost_micro(&imp.resources(), imp.time, policy), i)
-            });
-            // Fastest software implementation (always present).
-            let best_sw = inst.fastest_sw_impl(t);
-            match best_hw {
-                Some(hw) if inst.impls.get(hw).time < inst.impls.get(best_sw).time => hw,
-                _ => best_sw,
-            }
-        })
-        .collect()
+    let mut choice = Vec::new();
+    select_implementations_into(inst, weights, policy, &mut choice);
+    choice
+}
+
+/// [`select_implementations`] into `choice` (cleared first).
+pub fn select_implementations_into(
+    inst: &ProblemInstance,
+    weights: &MetricWeights,
+    policy: CostPolicy,
+    choice: &mut Vec<ImplId>,
+) {
+    choice.clear();
+    choice.extend(inst.graph.task_ids().map(|t| {
+        // Cheapest hardware implementation by eq. 3 (ties: lower id).
+        let best_hw = inst.hw_impls(t).min_by_key(|&i| {
+            let imp = inst.impls.get(i);
+            (weights.cost_micro(&imp.resources(), imp.time, policy), i)
+        });
+        // Fastest software implementation (always present).
+        let best_sw = inst.fastest_sw_impl(t);
+        match best_hw {
+            Some(hw) if inst.impls.get(hw).time < inst.impls.get(best_sw).time => hw,
+            _ => best_sw,
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -180,7 +180,7 @@ mod tests {
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(inst));
         // t0 chosen HW, t1/t2 SW.
         let choice = vec![ImplId(1), ImplId(2), ImplId(3)];
-        let mut st = SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap();
+        let mut st = SchedState::new(inst, &inst.architecture.device, w, choice).unwrap();
         let h0 = ImplId(1);
         st.open_region(prfpga_model::TaskId(0), h0);
         st
@@ -236,7 +236,7 @@ mod tests {
         let w = MetricWeights::new(&inst2.architecture.device.max_res, max_t(&inst2));
         let mut st2 = SchedState::new(
             &inst2,
-            inst2.architecture.device.clone(),
+            &inst2.architecture.device,
             w,
             vec![ImplId(1), ImplId(2)],
         )
@@ -257,7 +257,7 @@ mod tests {
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
         let mut st = SchedState::new(
             &inst,
-            inst.architecture.device.clone(),
+            &inst.architecture.device,
             w,
             vec![ImplId(0), ImplId(2), ImplId(3)],
         )

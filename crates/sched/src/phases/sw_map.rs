@@ -52,6 +52,7 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
 
         // Sequencing arc from the core's last task; the delay itself is
         // realized by the CPM pass through this arc.
+        let mut arc_added = None;
         if let Some(&last) = core_tasks[best_core].last() {
             // The arc can only create a cycle if `last` depends on `t`;
             // since `last` was chosen among tasks with T_MIN no later than
@@ -59,11 +60,19 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
             // means the two tasks are dependency-ordered t -> last. In that
             // case skip the arc: the data dependency already serializes
             // them on the core.
-            let _ = state.dag.add_edge(last.0, t.0);
+            if state.dag.add_edge(last.0, t.0).is_ok() {
+                arc_added = Some(last);
+            }
         }
         core_tasks[best_core].push(t);
         state.core_of[t.index()] = Some(best_core);
-        state.recompute_windows();
+        if state.incremental {
+            if let Some(last) = arc_added {
+                state.cpm_apply_arc(last, t);
+            }
+        } else {
+            state.recompute_windows();
+        }
     }
     state.observer.phase_finished(Phase::SwMap, t0.elapsed());
 }
@@ -101,7 +110,7 @@ mod tests {
             .task_ids()
             .map(|t| inst.fastest_sw_impl(t))
             .collect();
-        SchedState::new(inst, inst.architecture.device.clone(), w, choice).unwrap()
+        SchedState::new(inst, &inst.architecture.device, w, choice).unwrap()
     }
 
     #[test]
@@ -151,7 +160,7 @@ mod tests {
         )
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
-        let mut st = SchedState::new(&inst, inst.architecture.device.clone(), w, vec![h]).unwrap();
+        let mut st = SchedState::new(&inst, &inst.architecture.device, w, vec![h]).unwrap();
         st.open_region(TaskId(0), h);
         map_software_tasks(&mut st);
         assert_eq!(st.core_of[0], None);
@@ -174,8 +183,7 @@ mod tests {
         )
         .unwrap();
         let w = MetricWeights::new(&inst.architecture.device.max_res, max_t(&inst));
-        let mut st =
-            SchedState::new(&inst, inst.architecture.device.clone(), w, vec![a, b]).unwrap();
+        let mut st = SchedState::new(&inst, &inst.architecture.device, w, vec![a, b]).unwrap();
         map_software_tasks(&mut st);
         assert_eq!(st.cpm.makespan, 150);
     }

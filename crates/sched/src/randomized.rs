@@ -15,12 +15,17 @@ use parking_lot::Mutex;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use prfpga_floorplan::{FloorplanOutcome, Floorplanner};
+use prfpga_floorplan::{
+    CacheStats, FeasibilityCache, FloorplanOutcome, Floorplanner, SharedFeasibilityCache,
+    DEFAULT_CACHE_CAPACITY,
+};
 use prfpga_model::{ProblemInstance, ResourceVec, Schedule, Time};
 
 use crate::config::{OrderingPolicy, SchedulerConfig};
-use crate::driver::{do_schedule, PaScheduler};
+use crate::driver::{do_schedule, do_schedule_in, ImplSelectMemo, PaScheduler};
 use crate::error::SchedError;
+use crate::state::SchedWorkspace;
+use crate::trace::ObserverHandle;
 
 /// A point on PA-R's anytime-convergence curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +47,27 @@ pub struct PaRResult {
     pub iterations: usize,
     /// Every improvement, in order — the data behind the paper's Fig. 6.
     pub trace: Vec<ConvergencePoint>,
+    /// Wall-clock of the whole search.
+    pub elapsed: Duration,
+    /// Iterations that rewound the warm workspace instead of re-allocating
+    /// (0 when `workspace_reuse` is off).
+    pub workspace_reuses: u64,
+    /// Floorplan-feasibility cache counters (all-zero when
+    /// `workspace_reuse` is off or the device carries no geometry).
+    pub fp_cache: CacheStats,
+}
+
+impl PaRResult {
+    /// Search throughput in iterations per second (0 when the clock did
+    /// not tick).
+    pub fn iterations_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.iterations as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The randomized scheduler (*PA-R*).
@@ -81,6 +107,15 @@ impl PaRScheduler {
         let deadline = start + self.config.time_budget;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
 
+        // One workspace and one feasibility cache persist across every
+        // iteration (gated on `workspace_reuse`; verdicts are exact, so
+        // the search trajectory is byte-identical either way).
+        let reuse = self.config.workspace_reuse;
+        let mut ws = SchedWorkspace::new();
+        let mut memo = ImplSelectMemo::default();
+        let mut cache = FeasibilityCache::new(planner.clone(), DEFAULT_CACHE_CAPACITY);
+        let noop = ObserverHandle::noop();
+
         let mut best: Option<Schedule> = None;
         let mut best_makespan = Time::MAX;
         let mut trace = Vec::new();
@@ -97,19 +132,30 @@ impl PaRScheduler {
             }
             iterations += 1;
             let order_seed: u64 = rng.random();
-            let schedule = do_schedule(
-                inst,
-                &virtual_device,
-                &self.config,
-                OrderingPolicy::RandomizedNonCritical(order_seed),
-            );
+            let ordering = OrderingPolicy::RandomizedNonCritical(order_seed);
+            let schedule = if reuse {
+                do_schedule_in(
+                    &mut ws,
+                    inst,
+                    &virtual_device,
+                    &self.config,
+                    ordering,
+                    &noop,
+                    Some(&mut memo),
+                )
+            } else {
+                do_schedule(inst, &virtual_device, &self.config, ordering)
+            };
             let makespan = schedule.makespan();
             if makespan < best_makespan {
                 // Pay for the floorplanner only on improvement (Algorithm 1).
                 let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
-                if let FloorplanOutcome::Feasible(_) =
+                let outcome = if reuse {
+                    cache.check_device(&inst.architecture.device, &demands)
+                } else {
                     planner.check_device(&inst.architecture.device, &demands)
-                {
+                };
+                if let FloorplanOutcome::Feasible(_) = outcome {
                     best_makespan = makespan;
                     best = Some(schedule);
                     trace.push(ConvergencePoint {
@@ -119,17 +165,22 @@ impl PaRScheduler {
                     });
                 } else if shrinks_left > 0 {
                     let (num, den) = self.config.shrink_factor;
-                    virtual_device = virtual_device.with_scaled_capacity(num, den);
+                    virtual_device.scale_capacity_in_place(num, den);
                     shrinks_left -= 1;
                 }
             }
         }
 
+        let workspace_reuses = ws.reuses();
+        let fp_cache = cache.stats();
         match best {
             Some(schedule) => Ok(PaRResult {
                 schedule,
                 iterations,
                 trace,
+                elapsed: start.elapsed(),
+                workspace_reuses,
+                fp_cache,
             }),
             // Every random candidate was floorplan-infeasible: fall back to
             // the deterministic PA, whose shrinking loop always terminates
@@ -140,6 +191,9 @@ impl PaRScheduler {
                     schedule: pa.schedule,
                     iterations,
                     trace,
+                    elapsed: start.elapsed(),
+                    workspace_reuses,
+                    fp_cache,
                 })
             }
         }
@@ -170,11 +224,20 @@ impl PaRScheduler {
         } else {
             0
         };
+        // All workers share one feasibility cache (solves happen outside
+        // its lock); each owns a private workspace. Verdicts are exact, so
+        // sharing cannot perturb any worker's search trajectory.
+        let reuse = self.config.workspace_reuse;
+        let shared_cache = SharedFeasibilityCache::new(
+            Floorplanner::new(self.config.floorplan.clone()),
+            DEFAULT_CACHE_CAPACITY,
+        );
 
         crossbeam::thread::scope(|scope| {
             for w in 0..threads {
                 let best = &best;
                 let config = &self.config;
+                let cache = shared_cache.clone();
                 let planner = Floorplanner::new(self.config.floorplan.clone());
                 let inst = &*inst;
                 scope.spawn(move |_| {
@@ -183,6 +246,9 @@ impl PaRScheduler {
                     // Per-worker capacity ratchet (see schedule_detailed).
                     let mut virtual_device = inst.architecture.device.clone();
                     let mut shrinks_left = config.max_attempts.max(1);
+                    let mut ws = SchedWorkspace::new();
+                    let mut memo = ImplSelectMemo::default();
+                    let noop = ObserverHandle::noop();
                     let mut iters = 0usize;
                     loop {
                         if per_worker_iters > 0 && iters >= per_worker_iters {
@@ -193,26 +259,37 @@ impl PaRScheduler {
                         }
                         iters += 1;
                         let order_seed: u64 = rng.random();
-                        let schedule = do_schedule(
-                            inst,
-                            &virtual_device,
-                            config,
-                            OrderingPolicy::RandomizedNonCritical(order_seed),
-                        );
+                        let ordering = OrderingPolicy::RandomizedNonCritical(order_seed);
+                        let schedule = if reuse {
+                            do_schedule_in(
+                                &mut ws,
+                                inst,
+                                &virtual_device,
+                                config,
+                                ordering,
+                                &noop,
+                                Some(&mut memo),
+                            )
+                        } else {
+                            do_schedule(inst, &virtual_device, config, ordering)
+                        };
                         let makespan = schedule.makespan();
                         if makespan < best.lock().0 {
                             let demands: Vec<ResourceVec> =
                                 schedule.regions.iter().map(|r| r.res).collect();
-                            if let FloorplanOutcome::Feasible(_) =
+                            let outcome = if reuse {
+                                cache.check_device(&inst.architecture.device, &demands)
+                            } else {
                                 planner.check_device(&inst.architecture.device, &demands)
-                            {
+                            };
+                            if let FloorplanOutcome::Feasible(_) = outcome {
                                 let mut guard = best.lock();
                                 if makespan < guard.0 {
                                     *guard = (makespan, Some(schedule));
                                 }
                             } else if shrinks_left > 0 {
                                 let (num, den) = config.shrink_factor;
-                                virtual_device = virtual_device.with_scaled_capacity(num, den);
+                                virtual_device.scale_capacity_in_place(num, den);
                                 shrinks_left -= 1;
                             }
                         }
@@ -310,6 +387,49 @@ mod tests {
         let par = PaRScheduler::new(config_iters(8));
         let s = par.schedule_parallel(&inst, 4).unwrap();
         validate_schedule(&inst, &s).expect("valid");
+    }
+
+    #[test]
+    fn reuse_counters_and_throughput_are_reported() {
+        let inst = TaskGraphGenerator::new(31).generate(
+            "counters",
+            &GraphConfig::standard(30),
+            Architecture::zedboard_pr(),
+        );
+        let r = PaRScheduler::new(config_iters(10))
+            .schedule_detailed(&inst)
+            .unwrap();
+        assert_eq!(
+            r.workspace_reuses, 9,
+            "10 iterations over one instance rewind the workspace 9 times"
+        );
+        // The device carries geometry and at least one improvement was
+        // floorplan-checked, so the cache saw traffic.
+        assert!(r.fp_cache.hits + r.fp_cache.misses > 0);
+        assert!(r.elapsed > Duration::ZERO);
+        assert!(r.iterations_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_off_is_byte_identical() {
+        let inst = instance(25, 37);
+        let on = PaRScheduler::new(config_iters(8))
+            .schedule_detailed(&inst)
+            .unwrap();
+        let off = PaRScheduler::new(SchedulerConfig {
+            workspace_reuse: false,
+            ..config_iters(8)
+        })
+        .schedule_detailed(&inst)
+        .unwrap();
+        assert_eq!(on.schedule, off.schedule);
+        assert_eq!(on.iterations, off.iterations);
+        let points = |r: &PaRResult| -> Vec<(usize, Time)> {
+            r.trace.iter().map(|p| (p.iteration, p.makespan)).collect()
+        };
+        assert_eq!(points(&on), points(&off), "same convergence trajectory");
+        assert_eq!(off.workspace_reuses, 0);
+        assert_eq!(off.fp_cache, CacheStats::default());
     }
 
     #[test]

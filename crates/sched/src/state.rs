@@ -1,6 +1,10 @@
-//! Mutable scheduler state shared by the pipeline phases.
+//! Mutable scheduler state shared by the pipeline phases, plus the
+//! reusable workspace that makes repeated `doSchedule` runs
+//! allocation-free.
 
-use prfpga_dag::{CpmAnalysis, Dag};
+use std::mem;
+
+use prfpga_dag::{CpmAnalysis, CpmScratch, Dag, DagCheckpoint};
 use prfpga_model::{Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow};
 
 use crate::error::SchedError;
@@ -17,15 +21,112 @@ pub struct RegionBuild {
     pub tasks: Vec<TaskId>,
 }
 
+/// The base (data-dependency) graph cached inside a [`SchedWorkspace`]:
+/// enough to recognize "same instance as last run" and rewind the DAG to
+/// it instead of rebuilding from scratch.
+#[derive(Debug, Default)]
+struct BaseGraph {
+    nodes: usize,
+    edges: Vec<(TaskId, TaskId)>,
+    checkpoint: Option<DagCheckpoint>,
+}
+
+/// All heap buffers one `doSchedule` pipeline run needs, owned separately
+/// from the run so they survive it.
+///
+/// The PA driver restarts the pipeline up to `max_attempts` times and
+/// PA-R runs it once per iteration; without a workspace every run
+/// re-allocates the DAG adjacency lists, the CPM vectors, the region
+/// tables and the per-task maps. Threading one workspace through
+/// ([`crate::driver`]'s restart loop, PA-R's iteration loop, one per
+/// worker in the parallel variant) makes the steady state allocation-free:
+/// the DAG rolls back to a checkpoint of the base graph, CPM recomputes
+/// into warm buffers, and region task lists are recycled through a pool.
+///
+/// Results are byte-identical to the fresh-allocation path — the rollback
+/// restores the exact base graph and every buffer is cleared before reuse.
+#[derive(Debug, Default)]
+pub struct SchedWorkspace {
+    dag: Dag,
+    impl_choice: Vec<ImplId>,
+    durations: Vec<Time>,
+    cpm: CpmAnalysis,
+    cpm_scratch: CpmScratch,
+    regions: Vec<RegionBuild>,
+    region_of: Vec<Option<usize>>,
+    core_of: Vec<Option<usize>>,
+    region_pool: Vec<Vec<TaskId>>,
+    base: BaseGraph,
+    /// Implementation choice the cached `base_cpm` was computed under.
+    base_choice: Vec<ImplId>,
+    /// Initial CPM analysis of the base graph under `base_choice`; reused
+    /// runs with the same choice restore it by copy instead of recomputing.
+    base_cpm: CpmAnalysis,
+    rebuilds: u64,
+    reuses: u64,
+}
+
+impl SchedWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the implementation-choice buffer (cleared) so phase A can
+    /// fill it without allocating; hand it back via
+    /// [`SchedState::from_workspace`].
+    pub(crate) fn take_impl_choice(&mut self) -> Vec<ImplId> {
+        let mut v = mem::take(&mut self.impl_choice);
+        v.clear();
+        v
+    }
+
+    /// Times a state was built by rewinding the cached base graph instead
+    /// of rebuilding it.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Times the base graph had to be (re)built from the instance — 1 for
+    /// any sequence of runs over a single instance.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Rewinds `self.dag` to the base graph of `inst`, rebuilding it only
+    /// when the cached base does not match the instance. Returns whether
+    /// the cached base was reused (vs rebuilt).
+    fn reset_graph(&mut self, inst: &ProblemInstance) -> Result<bool, SchedError> {
+        let matches = self.base.checkpoint.is_some()
+            && self.base.nodes == inst.graph.len()
+            && self.base.edges == inst.graph.edges;
+        if matches {
+            let cp = self.base.checkpoint.expect("checked above");
+            self.dag.rollback(cp);
+            self.reuses += 1;
+        } else {
+            self.dag = Dag::from_taskgraph(&inst.graph).map_err(|_| SchedError::CyclicTaskGraph)?;
+            self.base = BaseGraph {
+                nodes: inst.graph.len(),
+                edges: inst.graph.edges.clone(),
+                checkpoint: Some(self.dag.checkpoint()),
+            };
+            self.base_choice.clear();
+            self.rebuilds += 1;
+        }
+        Ok(matches)
+    }
+}
+
 /// The evolving state of one `doSchedule` run: implementation choices,
 /// the dependency DAG (data arcs plus sequencing arcs added by the
 /// phases), CPM windows and the region set.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SchedState<'a> {
     /// The instance being scheduled.
     pub inst: &'a ProblemInstance,
     /// Device with possibly shrunk capacity (feasibility restarts).
-    pub device: Device,
+    pub device: &'a Device,
     /// Metric weights for the current device capacity.
     pub weights: MetricWeights,
     /// Dependency DAG over the tasks.
@@ -50,24 +151,85 @@ pub struct SchedState<'a> {
     /// the caller installs a recorder (like `module_reuse`, injected after
     /// construction so direct phase callers are unaffected).
     pub observer: ObserverHandle,
+    /// When set, window updates after duration/arc mutations use the
+    /// incremental CPM maintenance of [`CpmAnalysis::apply_arc`] /
+    /// [`CpmAnalysis::apply_duration`] instead of a full recompute.
+    /// Byte-identical results (the window equations have a unique fixed
+    /// point); enabled by the schedulers' workspace-reuse fast path and
+    /// off by default so direct phase callers exercise the plain path.
+    pub incremental: bool,
+    /// Warm CPM buffers for [`SchedState::recompute_windows`].
+    cpm_scratch: CpmScratch,
+    /// Recycled region task lists, fed by the workspace.
+    region_pool: Vec<Vec<TaskId>>,
 }
 
 impl<'a> SchedState<'a> {
-    /// Builds the state after implementation selection.
+    /// Builds the state after implementation selection, allocating fresh
+    /// buffers. Direct phase callers (tests, experiments) use this;
+    /// scheduler loops go through [`SchedState::from_workspace`].
     pub fn new(
         inst: &'a ProblemInstance,
-        device: Device,
+        device: &'a Device,
         weights: MetricWeights,
         impl_choice: Vec<ImplId>,
     ) -> Result<Self, SchedError> {
+        let mut ws = SchedWorkspace::new();
+        Self::from_workspace(inst, device, weights, impl_choice, &mut ws)
+    }
+
+    /// Builds the state out of `ws`'s buffers: the DAG rewinds to the
+    /// cached base graph (or is rebuilt on first use / instance change),
+    /// CPM recomputes in place, and every table is cleared, not
+    /// re-allocated. The buffers return to `ws` via
+    /// [`SchedState::recycle`].
+    pub fn from_workspace(
+        inst: &'a ProblemInstance,
+        device: &'a Device,
+        weights: MetricWeights,
+        impl_choice: Vec<ImplId>,
+        ws: &mut SchedWorkspace,
+    ) -> Result<Self, SchedError> {
         let n = inst.graph.len();
         assert_eq!(impl_choice.len(), n);
-        let dag = Dag::from_taskgraph(&inst.graph).map_err(|_| SchedError::CyclicTaskGraph)?;
-        let durations: Vec<Time> = impl_choice
-            .iter()
-            .map(|&i| inst.impls.get(i).time)
-            .collect();
-        let cpm = CpmAnalysis::run(&dag, &durations);
+        let reused = ws.reset_graph(inst)?;
+        let dag = mem::take(&mut ws.dag);
+
+        let mut durations = mem::take(&mut ws.durations);
+        durations.clear();
+        durations.extend(impl_choice.iter().map(|&i| inst.impls.get(i).time));
+
+        let mut cpm = mem::take(&mut ws.cpm);
+        let mut cpm_scratch = mem::take(&mut ws.cpm_scratch);
+        if reused && ws.base_choice == impl_choice {
+            // Same base graph, same implementation choice: the initial
+            // analysis is identical to the cached one by determinism.
+            // The scratch's topological order stays valid — the rollback
+            // only removed arcs, which cannot break an order.
+            cpm.clone_from(&ws.base_cpm);
+        } else {
+            cpm.recompute(&dag, &durations, None, &mut cpm_scratch);
+            ws.base_choice.clear();
+            ws.base_choice.extend_from_slice(&impl_choice);
+            ws.base_cpm.clone_from(&cpm);
+        }
+
+        // Recycle last run's region task lists through the pool.
+        let mut region_pool = mem::take(&mut ws.region_pool);
+        let mut regions = mem::take(&mut ws.regions);
+        for r in regions.drain(..) {
+            let mut tasks = r.tasks;
+            tasks.clear();
+            region_pool.push(tasks);
+        }
+
+        let mut region_of = mem::take(&mut ws.region_of);
+        region_of.clear();
+        region_of.resize(n, None);
+        let mut core_of = mem::take(&mut ws.core_of);
+        core_of.clear();
+        core_of.resize(n, None);
+
         Ok(SchedState {
             inst,
             device,
@@ -76,12 +238,30 @@ impl<'a> SchedState<'a> {
             impl_choice,
             durations,
             cpm,
-            regions: Vec::new(),
-            region_of: vec![None; n],
-            core_of: vec![None; n],
+            regions,
+            region_of,
+            core_of,
             module_reuse: false,
             observer: ObserverHandle::noop(),
+            incremental: false,
+            cpm_scratch,
+            region_pool,
         })
+    }
+
+    /// Hands this run's buffers back to `ws` for the next run. The DAG is
+    /// returned with its sequencing arcs still in place; the next
+    /// [`SchedState::from_workspace`] rewinds them.
+    pub fn recycle(self, ws: &mut SchedWorkspace) {
+        ws.dag = self.dag;
+        ws.impl_choice = self.impl_choice;
+        ws.durations = self.durations;
+        ws.cpm = self.cpm;
+        ws.cpm_scratch = self.cpm_scratch;
+        ws.regions = self.regions;
+        ws.region_of = self.region_of;
+        ws.core_of = self.core_of;
+        ws.region_pool = self.region_pool;
     }
 
     /// Window of a task under the current CPM analysis.
@@ -122,19 +302,41 @@ impl<'a> SchedState<'a> {
         self.inst.impls.get(self.impl_choice[t.index()]).resources()
     }
 
-    /// Re-runs CPM after a duration or dependency mutation.
+    /// Re-runs CPM after a duration or dependency mutation, into the
+    /// state's warm buffers.
     pub fn recompute_windows(&mut self) {
-        self.cpm = CpmAnalysis::run(&self.dag, &self.durations);
+        self.cpm
+            .recompute(&self.dag, &self.durations, None, &mut self.cpm_scratch);
+    }
+
+    /// Updates the analysis after `durations[t]` changed from `old`:
+    /// incrementally when the fast path is on (a no-op if the duration is
+    /// in fact unchanged), via full recompute otherwise.
+    fn windows_after_duration_change(&mut self, t: TaskId, old: Time) {
+        if !self.incremental {
+            self.recompute_windows();
+        } else if self.durations[t.index()] != old {
+            self.cpm
+                .apply_duration(&self.dag, &self.durations, t.0, &mut self.cpm_scratch);
+        }
+    }
+
+    /// Incrementally folds an arc `u -> v` (already inserted into
+    /// `self.dag` by the caller) into the analysis.
+    pub(crate) fn cpm_apply_arc(&mut self, u: TaskId, v: TaskId) {
+        self.cpm
+            .apply_arc(&self.dag, &self.durations, u.0, v.0, &mut self.cpm_scratch);
     }
 
     /// Switches `t` to its fastest software implementation and refreshes
     /// the windows (§V-C fallback rule).
     pub fn switch_to_sw(&mut self, t: TaskId) {
         let sw = self.inst.fastest_sw_impl(t);
+        let old = self.durations[t.index()];
         self.impl_choice[t.index()] = sw;
         self.durations[t.index()] = self.inst.impls.get(sw).time;
         self.region_of[t.index()] = None;
-        self.recompute_windows();
+        self.windows_after_duration_change(t, old);
     }
 
     /// Switches `t` to hardware implementation `imp` hosted in region
@@ -143,44 +345,61 @@ impl<'a> SchedState<'a> {
     /// consistency (no cycle) beforehand.
     pub fn assign_to_region(&mut self, t: TaskId, imp: ImplId, region: usize) {
         debug_assert!(self.inst.impls.get(imp).is_hardware());
+        let old = self.durations[t.index()];
         self.impl_choice[t.index()] = imp;
         self.durations[t.index()] = self.inst.impls.get(imp).time;
         self.region_of[t.index()] = Some(region);
 
         // Keep the region's task list sorted by current window start and
-        // wire sequencing arcs to the immediate neighbours.
+        // wire sequencing arcs to the immediate neighbours. Insertion
+        // position and neighbours are fixed before any window update, so
+        // the incremental and full paths make identical decisions.
         let w_min = self.window(t).min;
         let pos = self.insertion_pos(region, w_min);
         let tasks = &mut self.regions[region].tasks;
         tasks.insert(pos, t);
         let prev = pos.checked_sub(1).map(|i| tasks[i]);
         let next = tasks.get(pos + 1).copied();
+        if self.incremental && self.durations[t.index()] != old {
+            self.cpm
+                .apply_duration(&self.dag, &self.durations, t.0, &mut self.cpm_scratch);
+        }
         if let Some(p) = prev {
             self.dag
                 .add_edge(p.0, t.0)
                 .expect("caller checked ordering consistency (prev)");
+            if self.incremental {
+                self.cpm
+                    .apply_arc(&self.dag, &self.durations, p.0, t.0, &mut self.cpm_scratch);
+            }
         }
         if let Some(nx) = next {
             self.dag
                 .add_edge(t.0, nx.0)
                 .expect("caller checked ordering consistency (next)");
+            if self.incremental {
+                self.cpm
+                    .apply_arc(&self.dag, &self.durations, t.0, nx.0, &mut self.cpm_scratch);
+            }
         }
-        self.recompute_windows();
+        if !self.incremental {
+            self.recompute_windows();
+        }
     }
 
     /// Opens a new region sized for `imp` and assigns `t` to it.
     pub fn open_region(&mut self, t: TaskId, imp: ImplId) {
         let res = self.inst.impls.get(imp).resources();
-        self.regions.push(RegionBuild {
-            res,
-            tasks: Vec::new(),
-        });
+        let tasks = self.region_pool.pop().unwrap_or_default();
+        debug_assert!(tasks.is_empty());
+        self.regions.push(RegionBuild { res, tasks });
         let region = self.regions.len() - 1;
+        let old = self.durations[t.index()];
         self.impl_choice[t.index()] = imp;
         self.durations[t.index()] = self.inst.impls.get(imp).time;
         self.region_of[t.index()] = Some(region);
         self.regions[region].tasks.push(t);
-        self.recompute_windows();
+        self.windows_after_duration_change(t, old);
     }
 
     /// Position at which a task whose window starts at `w_min` would be
@@ -251,16 +470,17 @@ mod tests {
         .unwrap()
     }
 
-    fn mk_state(inst: &ProblemInstance) -> SchedState<'_> {
-        let device = inst.architecture.device.clone();
-        let weights = MetricWeights::new(&device.max_res, 30);
-        // All HW initially.
-        let choice: Vec<ImplId> = inst
-            .graph
+    fn all_hw_choice(inst: &ProblemInstance) -> Vec<ImplId> {
+        inst.graph
             .task_ids()
             .map(|t| inst.hw_impls(t).next().unwrap())
-            .collect();
-        SchedState::new(inst, device, weights, choice).unwrap()
+            .collect()
+    }
+
+    fn mk_state(inst: &ProblemInstance) -> SchedState<'_> {
+        let device = &inst.architecture.device;
+        let weights = MetricWeights::new(&device.max_res, 30);
+        SchedState::new(inst, device, weights, all_hw_choice(inst)).unwrap()
     }
 
     #[test]
@@ -312,5 +532,71 @@ mod tests {
         // Task 0 precedes task 2 in time; inserting it must land first.
         st.assign_to_region(TaskId(0), hw0, 0);
         assert_eq!(st.regions[0].tasks, vec![TaskId(0), TaskId(2)]);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_state() {
+        // Two runs through one workspace, with mutations in between, must
+        // start from the exact state a fresh allocation produces.
+        let inst = mk_instance();
+        let device = &inst.architecture.device;
+        let weights = MetricWeights::new(&device.max_res, 30);
+        let mut ws = SchedWorkspace::new();
+        for round in 0..3 {
+            let mut st = SchedState::from_workspace(
+                &inst,
+                device,
+                weights.clone(),
+                all_hw_choice(&inst),
+                &mut ws,
+            )
+            .unwrap();
+            let fresh = mk_state(&inst);
+            assert_eq!(st.dag, fresh.dag, "round {round}: base graph restored");
+            assert_eq!(st.cpm, fresh.cpm);
+            assert_eq!(st.durations, fresh.durations);
+            assert!(st.regions.is_empty());
+            assert_eq!(st.region_of, vec![None; 3]);
+            // Dirty the state so the next round has something to rewind.
+            let hw0 = st.impl_choice[0];
+            let hw2 = st.impl_choice[2];
+            st.open_region(TaskId(0), hw0);
+            st.assign_to_region(TaskId(2), hw2, 0);
+            st.switch_to_sw(TaskId(1));
+            st.recycle(&mut ws);
+        }
+        assert_eq!(ws.rebuilds(), 1, "base graph built once");
+        assert_eq!(ws.reuses(), 2, "rounds 2 and 3 rewound it");
+    }
+
+    #[test]
+    fn workspace_rebuilds_on_instance_change() {
+        let inst_a = mk_instance();
+        let mut inst_b = mk_instance();
+        inst_b.graph.edges.pop(); // different dependency structure
+        let weights = MetricWeights::new(&inst_a.architecture.device.max_res, 30);
+        let mut ws = SchedWorkspace::new();
+        for inst in [&inst_a, &inst_b, &inst_a] {
+            let st = SchedState::from_workspace(
+                inst,
+                &inst.architecture.device,
+                weights.clone(),
+                all_hw_choice(inst),
+                &mut ws,
+            )
+            .unwrap();
+            let fresh = SchedState::new(
+                inst,
+                &inst.architecture.device,
+                weights.clone(),
+                all_hw_choice(inst),
+            )
+            .unwrap();
+            assert_eq!(st.dag, fresh.dag);
+            assert_eq!(st.cpm, fresh.cpm);
+            st.recycle(&mut ws);
+        }
+        assert_eq!(ws.rebuilds(), 3, "every instance switch rebuilds");
+        assert_eq!(ws.reuses(), 0);
     }
 }

@@ -113,6 +113,13 @@ pub trait PhaseObserver: Send + Sync {
 
     /// Timing realization planned `count` reconfigurations.
     fn reconfigurations_planned(&self, _count: usize) {}
+
+    /// End-of-run resource-reuse totals: how many pipeline runs rewound a
+    /// warm [`SchedWorkspace`] instead of re-allocating, and the
+    /// floorplan-feasibility cache's hit/miss counters.
+    ///
+    /// [`SchedWorkspace`]: crate::SchedWorkspace
+    fn workspace_stats(&self, _workspace_reuses: u64, _fp_cache_hits: u64, _fp_cache_misses: u64) {}
 }
 
 /// The do-nothing observer used by untraced paths.
@@ -180,6 +187,14 @@ pub struct PhaseTrace {
     pub balance_moves: usize,
     /// Reconfigurations planned by the last pipeline run.
     pub reconfigurations: usize,
+    /// Pipeline runs that rewound a warm workspace instead of
+    /// re-allocating (0 when `workspace_reuse` is off or only one run
+    /// happened).
+    pub workspace_reuses: u64,
+    /// Floorplan-feasibility queries answered from the memoization cache.
+    pub fp_cache_hits: u64,
+    /// Floorplan-feasibility queries that required a cold solve.
+    pub fp_cache_misses: u64,
 }
 
 impl PhaseTrace {
@@ -230,6 +245,10 @@ impl PhaseTrace {
         out.push_str(&format!(
             "attempts {} | {} regions, {} hw / {} sw tasks, {} reconfigurations\n",
             self.attempts, self.regions, self.hw_tasks, self.sw_tasks, self.reconfigurations,
+        ));
+        out.push_str(&format!(
+            "workspace reuses {} | floorplan cache {} hits / {} misses\n",
+            self.workspace_reuses, self.fp_cache_hits, self.fp_cache_misses,
         ));
         out
     }
@@ -282,6 +301,13 @@ impl PhaseObserver for TraceRecorder {
     fn reconfigurations_planned(&self, count: usize) {
         self.inner.lock().reconfigurations = count;
     }
+
+    fn workspace_stats(&self, workspace_reuses: u64, fp_cache_hits: u64, fp_cache_misses: u64) {
+        let mut t = self.inner.lock();
+        t.workspace_reuses = workspace_reuses;
+        t.fp_cache_hits = fp_cache_hits;
+        t.fp_cache_misses = fp_cache_misses;
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +358,21 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, Phase::SwMap);
         assert!(t.render_table().contains("F software task mapping"));
+    }
+
+    #[test]
+    fn workspace_stats_overwrite_and_render() {
+        let rec = TraceRecorder::new();
+        rec.workspace_stats(3, 10, 2);
+        rec.workspace_stats(5, 12, 4);
+        let t = rec.snapshot();
+        assert_eq!(
+            (t.workspace_reuses, t.fp_cache_hits, t.fp_cache_misses),
+            (5, 12, 4)
+        );
+        assert!(t
+            .render_table()
+            .contains("workspace reuses 5 | floorplan cache 12 hits / 4 misses"));
     }
 
     #[test]

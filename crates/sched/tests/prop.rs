@@ -51,7 +51,7 @@ fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
 }
 
 fn pipeline_state(inst: &ProblemInstance, ordering: OrderingPolicy) -> SchedState<'_> {
-    let device = inst.architecture.device.clone();
+    let device = &inst.architecture.device;
     let weights = MetricWeights::new(&device.max_res, impl_select::max_t(inst));
     let choice = impl_select::select_implementations(inst, &weights, CostPolicy::Full);
     let mut st = SchedState::new(inst, device, weights, choice).unwrap();

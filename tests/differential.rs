@@ -15,6 +15,7 @@ use prfpga::dag::{CpmAnalysis, Dag};
 use prfpga::gen::SuiteConfig;
 use prfpga::model::Time;
 use prfpga::prelude::*;
+use prfpga::sched::PaRResult;
 
 fn groups() -> Vec<Vec<ProblemInstance>> {
     SuiteConfig {
@@ -80,6 +81,53 @@ fn all_schedulers_respect_cpm_lower_bound() {
                     bound
                 );
             }
+        }
+    }
+}
+
+/// The workspace-reuse fast path (buffer recycling, incremental CPM,
+/// floorplan-feasibility cache) is a pure optimization: with a fixed
+/// seed it must produce byte-identical schedules, restart counts,
+/// iteration counts and convergence traces to the fresh-allocation
+/// path on every instance of the suite.
+#[test]
+fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
+    let fresh_cfg = SchedulerConfig {
+        workspace_reuse: false,
+        ..Default::default()
+    };
+    let reuse_cfg = SchedulerConfig::default();
+    assert!(reuse_cfg.workspace_reuse, "reuse is the default");
+
+    let pa_fresh = PaScheduler::new(fresh_cfg.clone());
+    let pa_reuse = PaScheduler::new(reuse_cfg.clone());
+    let par_cfg = |base: &SchedulerConfig| SchedulerConfig {
+        max_iterations: 6,
+        time_budget: std::time::Duration::from_secs(120),
+        ..base.clone()
+    };
+    let par_fresh = PaRScheduler::new(par_cfg(&fresh_cfg));
+    let par_reuse = PaRScheduler::new(par_cfg(&reuse_cfg));
+
+    for group in groups() {
+        for inst in &group {
+            let a = pa_fresh.schedule_detailed(inst).unwrap();
+            let b = pa_reuse.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA schedule on {}", inst.name);
+            assert_eq!(a.attempts, b.attempts, "PA attempts on {}", inst.name);
+
+            let a = par_fresh.schedule_detailed(inst).unwrap();
+            let b = par_reuse.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA-R schedule on {}", inst.name);
+            assert_eq!(
+                a.iterations, b.iterations,
+                "PA-R iterations on {}",
+                inst.name
+            );
+            let points = |r: &PaRResult| -> Vec<(usize, Time)> {
+                r.trace.iter().map(|p| (p.iteration, p.makespan)).collect()
+            };
+            assert_eq!(points(&a), points(&b), "PA-R convergence on {}", inst.name);
         }
     }
 }
