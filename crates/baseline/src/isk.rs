@@ -154,7 +154,7 @@ impl IsKScheduler {
                 best_cost: Time::MAX,
                 best: None,
             };
-            search.dfs(&ps, 0, &mut Vec::with_capacity(window.len()));
+            search.dfs(&mut ps, 0, &mut Vec::with_capacity(window.len()));
             nodes += search.nodes;
             let plan = search
                 .best
@@ -232,7 +232,10 @@ struct WindowSearch<'a> {
 }
 
 impl WindowSearch<'_> {
-    fn dfs(&mut self, ps: &PartialSchedule<'_>, depth: usize, chosen: &mut Vec<TaskOption>) {
+    /// In-place depth-first search: each branch is applied to `ps`,
+    /// explored, and reverted through the timeline's rollback journal —
+    /// no per-branch clone of the partial schedule.
+    fn dfs(&mut self, ps: &mut PartialSchedule<'_>, depth: usize, chosen: &mut Vec<TaskOption>) {
         if depth == self.window.len() {
             if ps.makespan < self.best_cost {
                 self.best_cost = ps.makespan;
@@ -258,11 +261,11 @@ impl WindowSearch<'_> {
                 continue;
             }
             self.nodes += 1;
-            let mut next = ps.clone();
-            next.apply(t, &opt);
+            let mv = ps.apply(t, &opt);
             chosen.push(opt);
-            self.dfs(&next, depth + 1, chosen);
+            self.dfs(ps, depth + 1, chosen);
             chosen.pop();
+            ps.undo(mv);
             if self.nodes >= self.budget && self.best.is_some() {
                 return;
             }

@@ -2,18 +2,25 @@
 //!
 //! Tracks, for a growing prefix of scheduled tasks: per-core availability,
 //! per-region availability and currently-loaded module, the busy intervals
-//! of the single reconfiguration controller (supporting prefetch into
-//! gaps), committed fabric resources and the partial makespan. Options for
-//! the next task are enumerated by [`PartialSchedule::enumerate_options`]
-//! and applied with [`PartialSchedule::apply`]; branch-and-bound search
-//! clones the state per branch (it is small).
+//! of the reconfiguration controllers (supporting prefetch into gaps),
+//! committed fabric resources and the partial makespan. All exclusivity
+//! state lives in one [`Timeline`] (core / region / controller lanes), so
+//! every reservation is conflict-checked by construction and the whole
+//! prefix supports O(1)-amortized rollback: options for the next task are
+//! enumerated by [`PartialSchedule::enumerate_options`], applied with
+//! [`PartialSchedule::apply`] and reverted with [`PartialSchedule::undo`],
+//! which is what lets branch-and-bound search walk the tree in place
+//! instead of cloning the state per branch.
 
 use prfpga_model::{
     ImplId, Placement, ProblemInstance, Reconfiguration, Region, RegionId, ResourceVec, Schedule,
-    TaskAssignment, TaskId, Time,
+    TaskAssignment, TaskId, Time, TimeWindow,
 };
+use prfpga_timeline::{LaneId, LaneKind, Timeline, TimelineMark};
 
-/// One region in the partial schedule.
+/// One region in the partial schedule. Availability (the tick from which
+/// the region is free) lives in the region's timeline lane; see
+/// [`PartialSchedule::region_free_from`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionState {
     /// Resource budget, fixed when the region is opened.
@@ -21,8 +28,6 @@ pub struct RegionState {
     /// Module currently configured (the implementation of the last task
     /// hosted or prefetched).
     pub loaded: ImplId,
-    /// Tick from which the region is free (end of its last task).
-    pub free_from: Time,
     /// Number of hosted tasks.
     pub task_count: usize,
 }
@@ -38,12 +43,28 @@ pub struct TaskOption {
     pub region: Option<usize>,
     /// Core for software options.
     pub core: Option<usize>,
-    /// Induced reconfiguration `(controller, start, end)` if one is needed.
-    pub reconf: Option<(usize, Time, Time)>,
+    /// Induced reconfiguration `(controller, window)` if one is needed.
+    pub reconf: Option<(usize, TimeWindow)>,
     /// Task start tick.
     pub start: Time,
     /// Task end tick.
     pub end: Time,
+}
+
+/// Undo token returned by [`PartialSchedule::apply`]: everything needed to
+/// revert the move with [`PartialSchedule::undo`]. Tokens must be undone
+/// in LIFO order (the timeline journal is a stack).
+#[derive(Debug, Clone, Copy)]
+pub struct AppliedMove {
+    task: TaskId,
+    mark: TimelineMark,
+    prev_makespan: Time,
+    /// The move opened a new region (popped on undo).
+    opened_region: bool,
+    /// The move pushed a reconfiguration (popped on undo).
+    pushed_reconf: bool,
+    /// Reused region: `(index, previous loaded module, previous task count)`.
+    prev_region: Option<(usize, ImplId, usize)>,
 }
 
 /// A partial schedule over a prefix of the task list.
@@ -56,11 +77,8 @@ pub struct PartialSchedule<'a> {
     pub regions: Vec<RegionState>,
     /// Reconfigurations committed so far.
     pub reconfigurations: Vec<Reconfiguration>,
-    /// Per-core availability.
-    pub core_free: Vec<Time>,
-    /// Sorted busy intervals per reconfiguration controller (one list in
-    /// the paper's single-controller model).
-    pub icap_busy: Vec<Vec<(Time, Time)>>,
+    /// Reservation lanes: one per core, per open region, per controller.
+    pub timeline: Timeline,
     /// Fabric resources committed to regions.
     pub used_res: ResourceVec,
     /// Current partial makespan.
@@ -75,11 +93,26 @@ impl<'a> PartialSchedule<'a> {
             decisions: vec![None; inst.graph.len()],
             regions: Vec::new(),
             reconfigurations: Vec::new(),
-            core_free: vec![0; inst.architecture.num_processors],
-            icap_busy: vec![Vec::new(); inst.architecture.num_reconfig_controllers.max(1)],
+            timeline: Timeline::with_lanes(
+                inst.architecture.num_processors,
+                0,
+                inst.architecture.num_reconfig_controllers.max(1),
+            ),
             used_res: ResourceVec::ZERO,
             makespan: 0,
         }
+    }
+
+    /// Tick from which core `p` is free.
+    #[inline]
+    pub fn core_free_from(&self, p: usize) -> Time {
+        self.timeline.free_from(LaneId::core(p))
+    }
+
+    /// Tick from which region `s` is free (end of its last task).
+    #[inline]
+    pub fn region_free_from(&self, s: usize) -> Time {
+        self.timeline.free_from(LaneId::region(s))
     }
 
     /// Earliest tick at which `t` may start: all predecessors scheduled
@@ -117,23 +150,7 @@ impl<'a> PartialSchedule<'a> {
     /// after `earliest`; returns `(controller, start)` for the controller
     /// offering the earliest slot (ties: lowest index).
     pub fn icap_first_fit(&self, earliest: Time, dur: Time) -> (usize, Time) {
-        self.icap_busy
-            .iter()
-            .enumerate()
-            .map(|(c, busy)| {
-                let mut candidate = earliest;
-                for &(s, e) in busy {
-                    if candidate + dur <= s {
-                        break;
-                    }
-                    if e > candidate {
-                        candidate = e;
-                    }
-                }
-                (c, candidate)
-            })
-            .min_by_key(|&(c, start)| (start, c))
-            .expect("at least one controller")
+        self.timeline.controller_first_fit(earliest, dur)
     }
 
     /// Enumerates every legal option for task `t` (capacity limited by the
@@ -155,7 +172,8 @@ impl<'a> PartialSchedule<'a> {
                     .edges_with_costs()
                     .any(|(_, to, c)| to == t && c > 0);
                 let mut seen = Vec::new();
-                for (p, &free) in self.core_free.iter().enumerate() {
+                for p in 0..self.inst.architecture.num_processors {
+                    let free = self.core_free_from(p);
                     if !has_comm && seen.contains(&free) {
                         continue;
                     }
@@ -179,10 +197,11 @@ impl<'a> PartialSchedule<'a> {
                 if !res.fits_in(&region.res) {
                     continue;
                 }
+                let free_from = self.region_free_from(s);
                 let ready = self.ready_time_for(t, Some(Placement::Region(RegionId(s as u32))));
                 if module_reuse && region.loaded == impl_id {
                     // Same module already configured: no reconfiguration.
-                    let start = ready.max(region.free_from);
+                    let start = ready.max(free_from);
                     out.push(TaskOption {
                         impl_id,
                         region: Some(s),
@@ -195,14 +214,14 @@ impl<'a> PartialSchedule<'a> {
                     // Prefetchable reconfiguration: may start as soon as the
                     // region drains, in the first controller gap.
                     let dur = device.reconf_time(&region.res);
-                    let (ctrl, rs) = self.icap_first_fit(region.free_from, dur);
-                    let re = rs + dur;
-                    let start = ready.max(re);
+                    let (ctrl, rs) = self.icap_first_fit(free_from, dur);
+                    let rw = TimeWindow::from_start(rs, dur);
+                    let start = ready.max(rw.max);
                     out.push(TaskOption {
                         impl_id,
                         region: Some(s),
                         core: None,
-                        reconf: Some((ctrl, rs, re)),
+                        reconf: Some((ctrl, rw)),
                         start,
                         end: start + imp.time,
                     });
@@ -225,43 +244,65 @@ impl<'a> PartialSchedule<'a> {
         out
     }
 
-    /// Applies an option for task `t`.
-    pub fn apply(&mut self, t: TaskId, opt: &TaskOption) {
+    /// Applies an option for task `t`, returning the token that
+    /// [`PartialSchedule::undo`] needs to revert it.
+    pub fn apply(&mut self, t: TaskId, opt: &TaskOption) -> AppliedMove {
+        let mark = self.timeline.mark();
+        let prev_makespan = self.makespan;
+        let mut opened_region = false;
+        let mut pushed_reconf = false;
+        let mut prev_region = None;
+
         let imp = self.inst.impls.get(opt.impl_id);
         let placement = if imp.is_software() {
             let p = opt.core.expect("software option carries a core");
-            self.core_free[p] = opt.end;
+            self.timeline
+                .reserve(LaneId::core(p), TimeWindow::new(opt.start, opt.end))
+                .expect("enumerated software option fits its core");
             Placement::Core(p)
         } else {
             let s = match opt.region {
-                Some(s) => s,
+                Some(s) => {
+                    let region = &self.regions[s];
+                    prev_region = Some((s, region.loaded, region.task_count));
+                    s
+                }
                 None => {
                     let res = imp.resources();
                     self.used_res += res;
                     self.regions.push(RegionState {
                         res,
                         loaded: opt.impl_id,
-                        free_from: 0,
                         task_count: 0,
                     });
+                    let lane = self.timeline.add_lane(LaneKind::Region);
+                    debug_assert_eq!(lane.index, self.regions.len() - 1);
+                    opened_region = true;
                     self.regions.len() - 1
                 }
             };
-            if let Some((ctrl, rs, re)) = opt.reconf {
-                let busy = &mut self.icap_busy[ctrl];
-                let pos = busy.partition_point(|&(s0, _)| s0 < rs);
-                busy.insert(pos, (rs, re));
+            let lane = LaneId::region(s);
+            if let Some((ctrl, rw)) = opt.reconf {
+                self.timeline
+                    .reserve(LaneId::controller(ctrl), rw)
+                    .expect("first-fit reconfiguration slot is free");
+                self.timeline
+                    .reserve(lane, rw)
+                    .expect("region drained before its reconfiguration");
                 self.reconfigurations.push(Reconfiguration {
                     region: RegionId(s as u32),
                     loads_impl: opt.impl_id,
                     outgoing_task: t,
-                    start: rs,
-                    end: re,
+                    start: rw.min,
+                    end: rw.max,
                 });
+                pushed_reconf = true;
             }
+            self.timeline
+                .reserve(lane, TimeWindow::new(opt.start, opt.end))
+                .expect("enumerated hardware option fits its region");
             let region = &mut self.regions[s];
             region.loaded = opt.impl_id;
-            region.free_from = opt.end;
             region.task_count += 1;
             Placement::Region(RegionId(s as u32))
         };
@@ -272,6 +313,33 @@ impl<'a> PartialSchedule<'a> {
             end: opt.end,
         });
         self.makespan = self.makespan.max(opt.end);
+        AppliedMove {
+            task: t,
+            mark,
+            prev_makespan,
+            opened_region,
+            pushed_reconf,
+            prev_region,
+        }
+    }
+
+    /// Reverts the most recent not-yet-undone [`PartialSchedule::apply`].
+    /// Tokens are a stack: undoing out of LIFO order corrupts the state.
+    pub fn undo(&mut self, mv: AppliedMove) {
+        self.timeline.rollback(mv.mark);
+        if mv.pushed_reconf {
+            self.reconfigurations.pop();
+        }
+        if mv.opened_region {
+            let region = self.regions.pop().expect("opened region present");
+            self.used_res -= region.res;
+        } else if let Some((s, loaded, task_count)) = mv.prev_region {
+            let region = &mut self.regions[s];
+            region.loaded = loaded;
+            region.task_count = task_count;
+        }
+        self.decisions[mv.task.index()] = None;
+        self.makespan = mv.prev_makespan;
     }
 
     /// Converts a complete partial schedule into the final artifact.
@@ -347,6 +415,7 @@ mod tests {
         ps.apply(TaskId(0), &opt);
         assert_eq!(ps.regions.len(), 1);
         assert_eq!(ps.used_res, ResourceVec::new(5, 0, 0));
+        assert_eq!(ps.region_free_from(0), 10);
 
         // Task b options: SW, reuse region (4 <= 5, different impl =>
         // reconfiguration of 5 ticks), or a new region (4 CLB fits in the
@@ -356,12 +425,12 @@ mod tests {
             .iter()
             .all(|o| !(o.core.is_none() && o.region.is_none())));
         let reuse = opts.iter().find(|o| o.region == Some(0)).unwrap();
-        let (ctrl, rs, re) = reuse
+        let (ctrl, rw) = reuse
             .reconf
             .expect("different module needs reconfiguration");
         assert_eq!(
-            (ctrl, rs, re),
-            (0, 10, 15),
+            (ctrl, rw),
+            (0, TimeWindow::new(10, 15)),
             "prefetch right after region drains"
         );
         assert_eq!(reuse.start, 15);
@@ -409,7 +478,9 @@ mod tests {
     fn icap_first_fit_respects_gaps() {
         let inst = instance();
         let mut ps = PartialSchedule::new(&inst);
-        ps.icap_busy = vec![vec![(10, 20), (25, 30)]];
+        let icap = LaneId::controller(0);
+        ps.timeline.reserve(icap, TimeWindow::new(10, 20)).unwrap();
+        ps.timeline.reserve(icap, TimeWindow::new(25, 30)).unwrap();
         assert_eq!(ps.icap_first_fit(0, 5), (0, 0));
         assert_eq!(ps.icap_first_fit(0, 12), (0, 30));
         assert_eq!(ps.icap_first_fit(12, 5), (0, 20));
@@ -421,11 +492,61 @@ mod tests {
     fn second_controller_offers_earlier_slots() {
         let inst = instance();
         let mut ps = PartialSchedule::new(&inst);
-        ps.icap_busy = vec![vec![(0, 50)], vec![(0, 10)]];
+        ps.timeline.reset(0, 0, 2);
+        ps.timeline
+            .reserve(LaneId::controller(0), TimeWindow::new(0, 50))
+            .unwrap();
+        ps.timeline
+            .reserve(LaneId::controller(1), TimeWindow::new(0, 10))
+            .unwrap();
         assert_eq!(ps.icap_first_fit(0, 5), (1, 10));
         // Controller 0 wins once it is the earlier one.
-        ps.icap_busy = vec![vec![], vec![(0, 10)]];
+        ps.timeline.reset(0, 0, 2);
+        ps.timeline
+            .reserve(LaneId::controller(1), TimeWindow::new(0, 10))
+            .unwrap();
         assert_eq!(ps.icap_first_fit(0, 5), (0, 0));
+    }
+
+    #[test]
+    fn undo_reverts_apply_exactly() {
+        let inst = instance();
+        let mut ps = PartialSchedule::new(&inst);
+        let hw = ps
+            .enumerate_options(TaskId(0), true)
+            .into_iter()
+            .find(|o| o.core.is_none())
+            .unwrap();
+        let before_opts = ps.enumerate_options(TaskId(0), true);
+
+        // Apply the hardware option (opens a region), then a dependent
+        // task with a reconfiguration, then undo both in LIFO order.
+        let mv_a = ps.apply(TaskId(0), &hw);
+        let reuse = ps
+            .enumerate_options(TaskId(1), true)
+            .into_iter()
+            .find(|o| o.region == Some(0))
+            .unwrap();
+        let mv_b = ps.apply(TaskId(1), &reuse);
+        assert_eq!(ps.reconfigurations.len(), 1);
+        assert_eq!(ps.makespan, reuse.end);
+
+        ps.undo(mv_b);
+        assert_eq!(ps.reconfigurations.len(), 0);
+        assert_eq!(ps.regions.len(), 1);
+        assert_eq!(ps.regions[0].loaded, hw.impl_id);
+        assert_eq!(ps.regions[0].task_count, 1);
+        assert_eq!(ps.region_free_from(0), hw.end);
+        assert_eq!(ps.makespan, hw.end);
+        assert!(ps.decisions[1].is_none());
+
+        ps.undo(mv_a);
+        assert_eq!(ps.regions.len(), 0);
+        assert_eq!(ps.used_res, ResourceVec::ZERO);
+        assert_eq!(ps.makespan, 0);
+        assert!(ps.decisions[0].is_none());
+        // The reverted state enumerates exactly the original options.
+        assert_eq!(ps.enumerate_options(TaskId(0), true), before_opts);
     }
 
     #[test]

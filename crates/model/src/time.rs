@@ -51,15 +51,42 @@ impl TimeWindow {
         self.span() >= exe
     }
 
+    /// Window covering an activity that starts at `start` and runs for
+    /// `duration` ticks: `[start, start + duration)`.
+    #[inline]
+    pub fn from_start(start: Time, duration: Time) -> Self {
+        Self::new(start, start + duration)
+    }
+
+    /// True when the window covers no tick at all (`min == max`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min >= self.max
+    }
+
     /// True when two windows share at least one tick.
     ///
     /// Windows are treated as half-open intervals `[min, max)`, so windows
     /// that merely touch (`a.max == b.min`) do **not** overlap: a task may
     /// start exactly when its predecessor in the same region finishes being
     /// reconfigured.
+    ///
+    /// Note the CPM-specific convention for degenerate windows: a
+    /// zero-length window strictly inside another is reported as
+    /// overlapping (a zero-slack anchor still pins a point in time). For
+    /// the set-theoretic predicate where empty windows intersect nothing,
+    /// use [`TimeWindow::intersects`].
     #[inline]
     pub fn overlaps(&self, other: &TimeWindow) -> bool {
         self.min < other.max && other.min < self.max
+    }
+
+    /// Set intersection test for half-open intervals: true when
+    /// `[min, max) ∩ [other.min, other.max)` is non-empty. Unlike
+    /// [`TimeWindow::overlaps`], an empty window intersects nothing.
+    #[inline]
+    pub fn intersects(&self, other: &TimeWindow) -> bool {
+        self.min.max(other.min) < self.max.min(other.max)
     }
 
     /// True when `t` lies inside the half-open window.
@@ -109,5 +136,29 @@ mod tests {
         assert_eq!(w.span(), 0);
         assert!(w.fits(0));
         assert!(!w.fits(1));
+        assert!(w.is_empty());
+        assert!(!TimeWindow::new(7, 8).is_empty());
+    }
+
+    #[test]
+    fn from_start_builds_half_open_window() {
+        assert_eq!(TimeWindow::from_start(5, 10), TimeWindow::new(5, 15));
+        assert!(TimeWindow::from_start(5, 0).is_empty());
+    }
+
+    #[test]
+    fn intersects_ignores_empty_windows() {
+        let big = TimeWindow::new(3, 7);
+        let empty_inside = TimeWindow::new(5, 5);
+        // The CPM convention reports the pinned point as overlapping...
+        assert!(empty_inside.overlaps(&big));
+        // ...but set intersection is empty.
+        assert!(!empty_inside.intersects(&big));
+        assert!(!big.intersects(&empty_inside));
+        assert!(big.intersects(&TimeWindow::new(6, 9)));
+        assert!(
+            !big.intersects(&TimeWindow::new(7, 9)),
+            "touching is disjoint"
+        );
     }
 }

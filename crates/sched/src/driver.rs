@@ -300,7 +300,8 @@ pub(crate) fn do_schedule_in(
     sw_map::map_software_tasks(&mut state);
 
     // Phase G — reconfiguration scheduling / timing realization.
-    let schedule = reconf::realize_schedule(&state, config.module_reuse);
+    let schedule =
+        reconf::realize_schedule_in(&state, config.module_reuse, &mut ws.reconf_timeline);
     state.recycle(ws);
     schedule
 }

@@ -23,7 +23,9 @@ use std::time::Instant;
 use prfpga_dag::CpmAnalysis;
 use prfpga_model::{
     Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment, TaskId, Time,
+    TimeWindow,
 };
+use prfpga_timeline::{LaneId, Timeline};
 
 use crate::state::SchedState;
 use crate::trace::Phase;
@@ -38,12 +40,24 @@ struct PlannedRec {
     critical: bool,
 }
 
-/// Runs the timing realization and assembles the final [`Schedule`].
+/// Runs the timing realization and assembles the final [`Schedule`],
+/// allocating a throwaway controller timeline. Scheduler loops call
+/// [`realize_schedule_in`] with the workspace's recycled timeline instead.
 ///
 /// With `module_reuse` enabled (the paper's future-work extension),
 /// consecutive tasks of a region that share an implementation need no
 /// reconfiguration between them.
 pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule {
+    realize_schedule_in(state, module_reuse, &mut Timeline::new())
+}
+
+/// [`realize_schedule`] with a caller-provided controller timeline (reset
+/// here), so repeated runs recycle the lane buffers.
+pub fn realize_schedule_in(
+    state: &SchedState<'_>,
+    module_reuse: bool,
+    icap: &mut Timeline,
+) -> Schedule {
     let t0 = Instant::now();
     let n = state.inst.graph.len();
 
@@ -127,10 +141,12 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
             icap_ready.push(Reverse((!planned[ri].critical, 0, ri as u32)));
         }
     }
-    // One availability clock per reconfiguration controller (one in the
-    // paper's model; its ref. \[8\] generalizes to several).
+    // One controller lane per reconfiguration controller (one in the
+    // paper's model; its ref. \[8\] generalizes to several). Arbitration
+    // is clock-style — `controller_next_free`, never a gap backfill — so
+    // the event-driven pass keeps its fixed-point semantics.
     let k = state.inst.architecture.num_reconfig_controllers.max(1);
-    let mut icap_free: Vec<Time> = vec![0; k];
+    icap.reset(0, 0, k);
     let mut scheduled = 0usize;
 
     while scheduled < total {
@@ -158,11 +174,15 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
         // controller.
         if let Some(Reverse((_, release, ri))) = icap_ready.pop() {
             let node = n + ri as usize;
-            let ctrl = (0..k).min_by_key(|&c| icap_free[c]).expect("k >= 1");
-            let s = icap_free[ctrl].max(release);
+            let (ctrl, free) = icap.controller_next_free();
+            let s = free.max(release);
             start[node] = s;
             done_time[node] = s + durations[node];
-            icap_free[ctrl] = done_time[node];
+            icap.reserve(
+                LaneId::controller(ctrl),
+                TimeWindow::new(s, done_time[node]),
+            )
+            .expect("reservation starts at the controller's drain tick");
             scheduled += 1;
             relax(
                 node,
@@ -222,6 +242,12 @@ pub fn realize_schedule(state: &SchedState<'_>, module_reuse: bool) -> Schedule 
     state
         .observer
         .reconfigurations_planned(schedule.reconfigurations.len());
+    let core = state.timeline.stats();
+    let ctrl = icap.stats();
+    state.observer.timeline_stats(
+        core.reservations + ctrl.reservations,
+        core.gap_queries + ctrl.gap_queries,
+    );
     state.observer.phase_finished(Phase::Reconf, t0.elapsed());
     schedule
 }

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use prfpga_model::{TaskId, Time};
+use prfpga_timeline::LaneId;
 
 use crate::state::SchedState;
 use crate::trace::Phase;
@@ -31,6 +32,17 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
         .collect();
     sw_tasks.sort_by_key(|&t| (state.window(t).min, t));
 
+    // With positive durations an assigned task's occupancy is final: the
+    // sequencing arc added below only delays *descendants* of the newly
+    // mapped task, and a descendant's T_MIN exceeds its ancestor's by at
+    // least one positive duration, so it cannot sit earlier in the
+    // processing order — i.e. it is never already assigned. The drain tick
+    // of a core is then exactly its timeline lane's `free_from`, replacing
+    // the O(tasks-on-core) rescan per candidate core with an O(1) read.
+    // A zero-duration software task voids the argument (a delayed task
+    // could already be mapped), so that rare case keeps the rescan.
+    let cached_free = sw_tasks.iter().all(|&t| state.durations[t.index()] > 0);
+
     // Per-core: tasks assigned so far (order of assignment equals time
     // order because we process by ascending T_MIN and enqueue at the end).
     let mut core_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); num_cores];
@@ -40,11 +52,15 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
         // λ_p per core: how long t would wait for the core to drain.
         let (best_core, _lambda) = (0..num_cores)
             .map(|p| {
-                let busy_until: Time = core_tasks[p]
-                    .iter()
-                    .map(|&t2| state.occupancy(t2).max)
-                    .max()
-                    .unwrap_or(0);
+                let busy_until: Time = if cached_free {
+                    state.timeline.free_from(LaneId::core(p))
+                } else {
+                    core_tasks[p]
+                        .iter()
+                        .map(|&t2| state.occupancy(t2).max)
+                        .max()
+                        .unwrap_or(0)
+                };
                 (p, busy_until.saturating_sub(t_min))
             })
             .min_by_key(|&(p, lambda)| (lambda, p))
@@ -72,6 +88,15 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
             }
         } else {
             state.recompute_windows();
+        }
+        if cached_free {
+            // Commit the (now final) occupancy on the core's lane; the arc
+            // just folded in guarantees it starts at or after the drain.
+            let occ = state.occupancy(t);
+            state
+                .timeline
+                .reserve(LaneId::core(best_core), occ)
+                .expect("occupancy starts at or after the core's drain");
         }
     }
     state.observer.phase_finished(Phase::SwMap, t0.elapsed());

@@ -6,6 +6,7 @@ use std::mem;
 
 use prfpga_dag::{CpmAnalysis, CpmScratch, Dag, DagCheckpoint};
 use prfpga_model::{Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow};
+use prfpga_timeline::Timeline;
 
 use crate::error::SchedError;
 use crate::metrics::MetricWeights;
@@ -62,6 +63,12 @@ pub struct SchedWorkspace {
     /// Initial CPM analysis of the base graph under `base_choice`; reused
     /// runs with the same choice restore it by copy instead of recomputing.
     base_cpm: CpmAnalysis,
+    /// Core-lane reservation kernel recycled into [`SchedState::timeline`].
+    timeline: Timeline,
+    /// Controller-lane reservation kernel for phase G's timing realization
+    /// (separate from the state's, because `realize_schedule` reads the
+    /// state immutably while committing controller reservations).
+    pub(crate) reconf_timeline: Timeline,
     rebuilds: u64,
     reuses: u64,
 }
@@ -158,6 +165,10 @@ pub struct SchedState<'a> {
     /// point); enabled by the schedulers' workspace-reuse fast path and
     /// off by default so direct phase callers exercise the plain path.
     pub incremental: bool,
+    /// Core-lane reservation kernel: phase F commits every mapped software
+    /// task's occupancy here, making per-core drain queries O(1) via
+    /// [`Timeline::free_from`] instead of rescanning assigned tasks.
+    pub timeline: Timeline,
     /// Warm CPM buffers for [`SchedState::recompute_windows`].
     cpm_scratch: CpmScratch,
     /// Recycled region task lists, fed by the workspace.
@@ -230,6 +241,9 @@ impl<'a> SchedState<'a> {
         core_of.clear();
         core_of.resize(n, None);
 
+        let mut timeline = mem::take(&mut ws.timeline);
+        timeline.reset(inst.architecture.num_processors, 0, 0);
+
         Ok(SchedState {
             inst,
             device,
@@ -244,6 +258,7 @@ impl<'a> SchedState<'a> {
             module_reuse: false,
             observer: ObserverHandle::noop(),
             incremental: false,
+            timeline,
             cpm_scratch,
             region_pool,
         })
@@ -262,6 +277,7 @@ impl<'a> SchedState<'a> {
         ws.region_of = self.region_of;
         ws.core_of = self.core_of;
         ws.region_pool = self.region_pool;
+        ws.timeline = self.timeline;
     }
 
     /// Window of a task under the current CPM analysis.

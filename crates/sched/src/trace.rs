@@ -120,6 +120,11 @@ pub trait PhaseObserver: Send + Sync {
     ///
     /// [`SchedWorkspace`]: crate::SchedWorkspace
     fn workspace_stats(&self, _workspace_reuses: u64, _fp_cache_hits: u64, _fp_cache_misses: u64) {}
+
+    /// Timeline-kernel counters of the last pipeline run: committed lane
+    /// reservations (core occupancies in phase F plus controller windows
+    /// in phase G) and gap/arbitration queries answered.
+    fn timeline_stats(&self, _reservations: u64, _gap_queries: u64) {}
 }
 
 /// The do-nothing observer used by untraced paths.
@@ -195,6 +200,12 @@ pub struct PhaseTrace {
     pub fp_cache_hits: u64,
     /// Floorplan-feasibility queries that required a cold solve.
     pub fp_cache_misses: u64,
+    /// Lane reservations committed by the last pipeline run's timeline
+    /// kernel (core occupancies plus controller windows).
+    pub timeline_reservations: u64,
+    /// Gap / arbitration queries the last pipeline run's timeline kernel
+    /// answered.
+    pub timeline_gap_queries: u64,
 }
 
 impl PhaseTrace {
@@ -249,6 +260,10 @@ impl PhaseTrace {
         out.push_str(&format!(
             "workspace reuses {} | floorplan cache {} hits / {} misses\n",
             self.workspace_reuses, self.fp_cache_hits, self.fp_cache_misses,
+        ));
+        out.push_str(&format!(
+            "timeline {} reservations / {} gap queries\n",
+            self.timeline_reservations, self.timeline_gap_queries,
         ));
         out
     }
@@ -307,6 +322,12 @@ impl PhaseObserver for TraceRecorder {
         t.workspace_reuses = workspace_reuses;
         t.fp_cache_hits = fp_cache_hits;
         t.fp_cache_misses = fp_cache_misses;
+    }
+
+    fn timeline_stats(&self, reservations: u64, gap_queries: u64) {
+        let mut t = self.inner.lock();
+        t.timeline_reservations = reservations;
+        t.timeline_gap_queries = gap_queries;
     }
 }
 
@@ -373,6 +394,18 @@ mod tests {
         assert!(t
             .render_table()
             .contains("workspace reuses 5 | floorplan cache 12 hits / 4 misses"));
+    }
+
+    #[test]
+    fn timeline_stats_overwrite_and_render() {
+        let rec = TraceRecorder::new();
+        rec.timeline_stats(8, 20);
+        rec.timeline_stats(11, 24);
+        let t = rec.snapshot();
+        assert_eq!((t.timeline_reservations, t.timeline_gap_queries), (11, 24));
+        assert!(t
+            .render_table()
+            .contains("timeline 11 reservations / 24 gap queries"));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * a replay that fails (the implied ordering constraints form a cycle)
 //!   proves the schedule inconsistent.
 
-use prfpga_model::{ProblemInstance, Schedule, Time};
+use prfpga_model::{ProblemInstance, Schedule, Time, TimeWindow};
+use prfpga_timeline::pack_lanes;
 
 /// Result of an ASAP replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,20 +97,25 @@ pub fn execute_asap(instance: &ProblemInstance, schedule: &Schedule) -> Option<A
     }
     // Controller serialization in recorded order: reconfigurations are
     // greedily re-assigned to the architecture's k controllers by start
-    // time (with k = 1 this is the plain recorded sequence).
+    // time (with k = 1 this is the plain recorded sequence). The packing
+    // rule is `pack_lanes`, shared with the Gantt/SVG renderers so the
+    // replay chains exactly the lanes a human sees drawn.
     let k = instance.architecture.num_reconfig_controllers.max(1);
+    let rec_windows: Vec<TimeWindow> = schedule
+        .reconfigurations
+        .iter()
+        .map(|r| TimeWindow::new(r.start, r.end))
+        .collect();
+    let lane_of = pack_lanes(&rec_windows, k);
     let mut rec_order: Vec<usize> = (0..n_recs).collect();
     rec_order.sort_by_key(|&ri| schedule.reconfigurations[ri].start);
     let mut ctrl_last: Vec<Option<usize>> = vec![None; k];
-    let mut ctrl_free: Vec<Time> = vec![0; k];
     for &ri in &rec_order {
-        let r = &schedule.reconfigurations[ri];
-        let ctrl = (0..k).min_by_key(|&c| (ctrl_free[c], c)).expect("k >= 1");
+        let ctrl = lane_of[ri];
         if let Some(prev) = ctrl_last[ctrl] {
             add(&mut succs, &mut indeg, n_tasks + prev, n_tasks + ri, 0);
         }
         ctrl_last[ctrl] = Some(ri);
-        ctrl_free[ctrl] = r.end;
     }
 
     // Longest-path relaxation in topological order (Kahn).

@@ -1,12 +1,15 @@
 //! ASCII Gantt rendering of schedules.
 //!
-//! One row per processor core, per reconfigurable region and one for the
-//! reconfiguration controller (ICAP). Intended for examples, the CLI and
-//! debugging — not a stable machine format.
+//! One row per processor core, per reconfigurable region and per
+//! reconfiguration controller (ICAP); reconfigurations are packed onto the
+//! controller rows with the same [`pack_lanes`] rule the ASAP replay uses
+//! to chain them. Intended for examples, the CLI and debugging — not a
+//! stable machine format.
 
 use std::fmt::Write as _;
 
-use prfpga_model::{Placement, ProblemInstance, RegionId, Schedule, Time};
+use prfpga_model::{Placement, ProblemInstance, RegionId, Schedule, Time, TimeWindow};
+use prfpga_timeline::pack_lanes;
 
 /// Renders a schedule as a fixed-width ASCII Gantt chart, `width` columns
 /// of timeline (plus labels). Task slots are drawn with the task id,
@@ -55,12 +58,23 @@ pub fn render_gantt(instance: &ProblemInstance, schedule: &Schedule, width: usiz
         );
     }
 
-    // ICAP.
-    let mut row = vec![b'.'; width];
-    for r in &schedule.reconfigurations {
-        paint(&mut row, scale(r.start), scale(r.end), b'#');
+    // ICAP: one row per reconfiguration controller.
+    let k = instance.architecture.num_reconfig_controllers.max(1);
+    let rec_windows: Vec<TimeWindow> = schedule
+        .reconfigurations
+        .iter()
+        .map(|r| TimeWindow::new(r.start, r.end))
+        .collect();
+    let lane_of = pack_lanes(&rec_windows, k);
+    for c in 0..k {
+        let mut row = vec![b'.'; width];
+        for (ri, r) in schedule.reconfigurations.iter().enumerate() {
+            if lane_of[ri] == c {
+                paint(&mut row, scale(r.start), scale(r.end), b'#');
+            }
+        }
+        let _ = writeln!(out, "icap {c:>2} |{}|", String::from_utf8_lossy(&row));
     }
-    let _ = writeln!(out, "icap    |{}|", String::from_utf8_lossy(&row));
 
     // Legend: which char is which task (only for small schedules).
     if schedule.assignments.len() <= 36 {

@@ -10,6 +10,9 @@
 //!   and region exclusivity, serialization on the single reconfiguration
 //!   controller, region capacity, device capacity and reconfiguration
 //!   bookkeeping. It shares no code with the schedulers.
+//! * [`validate_schedule_sweep`] — the same verdicts via a sweep-line
+//!   algorithm (`O(n log n)` instead of re-scanning per lane); the two
+//!   implementations act as differential oracles for each other.
 //! * [`execute_asap`] — a discrete-event re-execution of the schedule's
 //!   *decisions* (implementation choices, placements, intra-resource
 //!   orderings) under as-soon-as-possible semantics, returning the achieved
@@ -33,4 +36,4 @@ pub use exec::execute_asap;
 pub use gantt::render_gantt;
 pub use stats::{schedule_stats, ScheduleStats};
 pub use svg::render_svg;
-pub use validate::validate_schedule;
+pub use validate::{validate_schedule, validate_schedule_sweep};

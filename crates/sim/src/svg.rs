@@ -1,13 +1,15 @@
 //! SVG Gantt export.
 //!
 //! Produces a self-contained SVG document with one lane per processor
-//! core, one per reconfigurable region and one for the reconfiguration
-//! controller. Tasks are colored by placement kind, reconfigurations are
-//! hatched. No external assets; viewable in any browser.
+//! core, one per reconfigurable region and one per reconfiguration
+//! controller (packed with the shared [`pack_lanes`] rule). Tasks are
+//! colored by placement kind, reconfigurations are hatched. No external
+//! assets; viewable in any browser.
 
 use std::fmt::Write as _;
 
-use prfpga_model::{ProblemInstance, RegionId, Schedule, Time};
+use prfpga_model::{ProblemInstance, RegionId, Schedule, Time, TimeWindow};
+use prfpga_timeline::pack_lanes;
 
 const LANE_H: u64 = 26;
 const LANE_GAP: u64 = 6;
@@ -18,7 +20,8 @@ const TOP: u64 = 30;
 /// Renders the schedule as an SVG document.
 pub fn render_svg(instance: &ProblemInstance, schedule: &Schedule) -> String {
     let makespan = schedule.makespan().max(1);
-    let lanes = instance.architecture.num_processors + schedule.regions.len() + 1;
+    let k = instance.architecture.num_reconfig_controllers.max(1);
+    let lanes = instance.architecture.num_processors + schedule.regions.len() + k;
     let height = TOP + lanes as u64 * (LANE_H + LANE_GAP) + 30;
     let width = LABEL_W + CHART_W + 20;
 
@@ -88,19 +91,31 @@ pub fn render_svg(instance: &ProblemInstance, schedule: &Schedule) -> String {
         lane += 1;
     }
 
-    // Controller lane.
-    let y = lane_y(lane);
-    let _ = writeln!(s, r#"<text x="4" y="{}">icap</text>"#, y + 17);
-    lane_background(&mut s, y);
-    for r in &schedule.reconfigurations {
-        bar(
-            &mut s,
-            x(r.start),
-            y,
-            (x(r.end) - x(r.start)).max(1),
-            "#e15759",
-            &format!("load r{}", r.region.0),
-        );
+    // Controller lanes, one per reconfiguration controller.
+    let rec_windows: Vec<TimeWindow> = schedule
+        .reconfigurations
+        .iter()
+        .map(|r| TimeWindow::new(r.start, r.end))
+        .collect();
+    let lane_of = pack_lanes(&rec_windows, k);
+    for c in 0..k {
+        let y = lane_y(lane);
+        let _ = writeln!(s, r#"<text x="4" y="{}">icap {c}</text>"#, y + 17);
+        lane_background(&mut s, y);
+        for (ri, r) in schedule.reconfigurations.iter().enumerate() {
+            if lane_of[ri] != c {
+                continue;
+            }
+            bar(
+                &mut s,
+                x(r.start),
+                y,
+                (x(r.end) - x(r.start)).max(1),
+                "#e15759",
+                &format!("load r{}", r.region.0),
+            );
+        }
+        lane += 1;
     }
 
     let _ = writeln!(s, "</svg>");

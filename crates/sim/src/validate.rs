@@ -1,6 +1,26 @@
 //! From-first-principles schedule validation.
+//!
+//! Two checkers with identical verdicts:
+//!
+//! * [`validate_schedule`] — the reference oracle. Its exclusivity scans
+//!   re-filter the whole assignment list per core and per region and test
+//!   reconfigurations against every task of their region, exactly as the
+//!   problem statement reads.
+//! * [`validate_schedule_sweep`] — a sweep-line variant that buckets
+//!   assignments into lanes in one pass and answers the
+//!   reconfiguration-vs-execution queries against a
+//!   [`prfpga_timeline::Lane`] in `O(log n)` each, for an overall
+//!   `O(n log n)` instead of the oracle's `O(lanes · n + recs · tasks)`.
+//!
+//! The shape, capacity, precedence and bookkeeping phases are shared; the
+//! exclusivity logic is deliberately written twice so the two checkers can
+//! serve as differential oracles for each other (see the
+//! `validator_mutations` integration test).
 
-use prfpga_model::{ImplKind, Placement, ProblemInstance, RegionId, Schedule, TaskId, Time};
+use prfpga_model::{
+    ImplKind, Placement, ProblemInstance, RegionId, Schedule, TaskId, Time, TimeWindow,
+};
+use prfpga_timeline::Lane;
 
 use crate::error::ValidationError;
 
@@ -28,66 +48,11 @@ pub fn validate_schedule(
     instance: &ProblemInstance,
     schedule: &Schedule,
 ) -> Result<(), ValidationError> {
-    let n = instance.graph.len();
-    if schedule.assignments.len() != n {
-        return Err(ValidationError::AssignmentCountMismatch {
-            expected: n,
-            actual: schedule.assignments.len(),
-        });
-    }
+    check_shapes(instance, schedule)?;
+    check_capacity(instance, schedule)?;
+    check_precedence(instance, schedule)?;
 
     let device = &instance.architecture.device;
-
-    // --- Per-task shape checks -------------------------------------------
-    for (i, a) in schedule.assignments.iter().enumerate() {
-        let t = TaskId(i as u32);
-        let node = instance.graph.task(t);
-        if !node.impls.contains(&a.impl_id) {
-            return Err(ValidationError::ImplNotAvailable { task: t });
-        }
-        let imp = instance.impls.get(a.impl_id);
-        match (&imp.kind, &a.placement) {
-            (ImplKind::Hardware(res), Placement::Region(r)) => {
-                let Some(region) = schedule.regions.get(r.index()) else {
-                    return Err(ValidationError::RegionOutOfRange { task: t });
-                };
-                if !res.fits_in(&region.res) {
-                    return Err(ValidationError::RegionTooSmall {
-                        task: t,
-                        region: *r,
-                    });
-                }
-            }
-            (ImplKind::Software, Placement::Core(p)) => {
-                if *p >= instance.architecture.num_processors {
-                    return Err(ValidationError::CoreOutOfRange { task: t, core: *p });
-                }
-            }
-            _ => return Err(ValidationError::PlacementKindMismatch { task: t }),
-        }
-        if a.end.saturating_sub(a.start) != imp.time {
-            return Err(ValidationError::DurationMismatch { task: t });
-        }
-    }
-
-    // --- Device capacity --------------------------------------------------
-    if !schedule.total_region_resources().fits_in(&device.max_res) {
-        return Err(ValidationError::DeviceOverCapacity);
-    }
-
-    // --- Precedence (with optional communication costs) ---------------------
-    for (i, &(from, to)) in instance.graph.edges.iter().enumerate() {
-        let pa = schedule.assignment(from);
-        let sa = schedule.assignment(to);
-        let comm = if pa.placement.colocated(sa.placement) {
-            0
-        } else {
-            instance.graph.edge_cost(i)
-        };
-        if sa.start < pa.end + comm {
-            return Err(ValidationError::PrecedenceViolated { from, to });
-        }
-    }
 
     // --- Core exclusivity ---------------------------------------------------
     for p in 0..instance.architecture.num_processors {
@@ -162,7 +127,235 @@ pub fn validate_schedule(
         }
     }
 
-    // --- Reconfiguration consistency ---------------------------------------
+    check_dangling(schedule)?;
+    check_contention(instance, schedule)
+}
+
+/// Sweep-line variant of [`validate_schedule`]: same constraints, same
+/// verdicts (including which violation is reported first), different
+/// algorithm.
+///
+/// Assignments are bucketed into per-core / per-region lanes in a single
+/// pass and each lane is sorted once, so exclusivity falls out of
+/// adjacent-pair scans; each region's committed occupancy is then loaded
+/// into a [`Lane`] from the timeline kernel and every reconfiguration
+/// queries it with one binary search instead of scanning every task of the
+/// region.
+pub fn validate_schedule_sweep(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+) -> Result<(), ValidationError> {
+    check_shapes(instance, schedule)?;
+    check_capacity(instance, schedule)?;
+    check_precedence(instance, schedule)?;
+
+    let device = &instance.architecture.device;
+
+    // One bucketing pass over the assignments; the shape checks above
+    // already proved every placement index in range.
+    let mut core_lanes: Vec<Vec<TaskId>> = vec![Vec::new(); instance.architecture.num_processors];
+    let mut region_lanes: Vec<Vec<TaskId>> = vec![Vec::new(); schedule.regions.len()];
+    for (i, a) in schedule.assignments.iter().enumerate() {
+        match a.placement {
+            Placement::Core(p) => core_lanes[p].push(TaskId(i as u32)),
+            Placement::Region(r) => region_lanes[r.index()].push(TaskId(i as u32)),
+        }
+    }
+    // Push order is ascending task id, so a stable sort by start yields
+    // (start, id) — the exact order the oracle's per-lane refilters see.
+    for lane in core_lanes.iter_mut().chain(region_lanes.iter_mut()) {
+        lane.sort_by_key(|t| schedule.assignment(*t).start);
+    }
+    // Reconfigurations bucketed by target region, schedule order preserved;
+    // out-of-range regions fall through to the dangling check.
+    let mut region_recs: Vec<Vec<usize>> = vec![Vec::new(); schedule.regions.len()];
+    for (ri, r) in schedule.reconfigurations.iter().enumerate() {
+        if let Some(bucket) = region_recs.get_mut(r.region.index()) {
+            bucket.push(ri);
+        }
+    }
+
+    for (p, lane) in core_lanes.iter().enumerate() {
+        for pair in lane.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if overlaps(
+                schedule.assignment(a).start,
+                schedule.assignment(a).end,
+                schedule.assignment(b).start,
+                schedule.assignment(b).end,
+            ) {
+                return Err(ValidationError::CoreOverlap { a, b, core: p });
+            }
+        }
+    }
+
+    for (s, region) in schedule.regions.iter().enumerate() {
+        let rid = RegionId(s as u32);
+        let tasks = &region_lanes[s];
+
+        for pair in tasks.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if overlaps(
+                schedule.assignment(a).start,
+                schedule.assignment(a).end,
+                schedule.assignment(b).start,
+                schedule.assignment(b).end,
+            ) {
+                return Err(ValidationError::RegionOverlap { a, b, region: rid });
+            }
+        }
+
+        // The region's committed occupancy as a timeline lane — every
+        // reserve lands because the adjacent-pair scan above proved the
+        // slots disjoint. Zero-length slots store no window, but a
+        // zero-length task strictly inside a reconfiguration still clashes
+        // under `overlaps`, so their ticks are kept aside (sorted, since
+        // the tasks already are).
+        let mut occupancy = Lane::new();
+        let mut instants: Vec<Time> = Vec::new();
+        for &t in tasks {
+            let a = schedule.assignment(t);
+            let w = TimeWindow::new(a.start, a.end);
+            if w.is_empty() {
+                instants.push(a.start);
+            }
+            occupancy
+                .reserve(w)
+                .expect("region slots are pairwise disjoint");
+        }
+        for &ri in &region_recs[s] {
+            let r = &schedule.reconfigurations[ri];
+            let w = TimeWindow::new(r.start, r.end);
+            // `overlaps` flags a zero-length record strictly inside a
+            // non-empty one (in either direction), while the kernel's
+            // set-intersection queries treat empties as free — each
+            // degenerate direction gets its own binary search.
+            let blocked = if w.is_empty() {
+                let ws = occupancy.windows();
+                ws.partition_point(|t| t.min < r.start)
+                    .checked_sub(1)
+                    .is_some_and(|i| ws[i].max > r.start)
+            } else {
+                let hits_instant = {
+                    let i = instants.partition_point(|&x| x <= r.start);
+                    instants.get(i).is_some_and(|&x| x < r.end)
+                };
+                !occupancy.is_free(w) || hits_instant
+            };
+            if blocked {
+                return Err(ValidationError::ReconfigurationDuringExecution { region: rid });
+            }
+            if r.duration() != device.reconf_time(&region.res) {
+                return Err(ValidationError::ReconfigurationDurationMismatch { region: rid });
+            }
+        }
+
+        for pair in tasks.windows(2) {
+            let (t_in, t_out) = (pair[0], pair[1]);
+            let in_a = schedule.assignment(t_in);
+            let out_a = schedule.assignment(t_out);
+            if in_a.impl_id == out_a.impl_id {
+                continue; // module reuse: no reconfiguration required
+            }
+            let found = region_recs[s].iter().any(|&ri| {
+                let r = &schedule.reconfigurations[ri];
+                r.outgoing_task == t_out
+                    && r.loads_impl == out_a.impl_id
+                    && r.start >= in_a.end
+                    && r.end <= out_a.start
+            });
+            if !found {
+                return Err(ValidationError::MissingReconfiguration {
+                    task: t_out,
+                    region: rid,
+                });
+            }
+        }
+    }
+
+    check_dangling(schedule)?;
+    check_contention(instance, schedule)
+}
+
+/// Per-task shape checks (point 1 of the constraint list): assignment
+/// count, implementation membership, placement kind and range, region fit,
+/// slot length.
+fn check_shapes(instance: &ProblemInstance, schedule: &Schedule) -> Result<(), ValidationError> {
+    let n = instance.graph.len();
+    if schedule.assignments.len() != n {
+        return Err(ValidationError::AssignmentCountMismatch {
+            expected: n,
+            actual: schedule.assignments.len(),
+        });
+    }
+    for (i, a) in schedule.assignments.iter().enumerate() {
+        let t = TaskId(i as u32);
+        let node = instance.graph.task(t);
+        if !node.impls.contains(&a.impl_id) {
+            return Err(ValidationError::ImplNotAvailable { task: t });
+        }
+        let imp = instance.impls.get(a.impl_id);
+        match (&imp.kind, &a.placement) {
+            (ImplKind::Hardware(res), Placement::Region(r)) => {
+                let Some(region) = schedule.regions.get(r.index()) else {
+                    return Err(ValidationError::RegionOutOfRange { task: t });
+                };
+                if !res.fits_in(&region.res) {
+                    return Err(ValidationError::RegionTooSmall {
+                        task: t,
+                        region: *r,
+                    });
+                }
+            }
+            (ImplKind::Software, Placement::Core(p)) => {
+                if *p >= instance.architecture.num_processors {
+                    return Err(ValidationError::CoreOutOfRange { task: t, core: *p });
+                }
+            }
+            _ => return Err(ValidationError::PlacementKindMismatch { task: t }),
+        }
+        if a.end.saturating_sub(a.start) != imp.time {
+            return Err(ValidationError::DurationMismatch { task: t });
+        }
+    }
+    Ok(())
+}
+
+/// Device capacity: the regions together fit the fabric.
+fn check_capacity(instance: &ProblemInstance, schedule: &Schedule) -> Result<(), ValidationError> {
+    if !schedule
+        .total_region_resources()
+        .fits_in(&instance.architecture.device.max_res)
+    {
+        return Err(ValidationError::DeviceOverCapacity);
+    }
+    Ok(())
+}
+
+/// Precedence with optional communication costs for non-colocated pairs.
+fn check_precedence(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+) -> Result<(), ValidationError> {
+    for (i, &(from, to)) in instance.graph.edges.iter().enumerate() {
+        let pa = schedule.assignment(from);
+        let sa = schedule.assignment(to);
+        let comm = if pa.placement.colocated(sa.placement) {
+            0
+        } else {
+            instance.graph.edge_cost(i)
+        };
+        if sa.start < pa.end + comm {
+            return Err(ValidationError::PrecedenceViolated { from, to });
+        }
+    }
+    Ok(())
+}
+
+/// Reconfiguration consistency: every reconfiguration names a real task,
+/// placed in the named region with the loaded implementation, and finishes
+/// before that task starts.
+fn check_dangling(schedule: &Schedule) -> Result<(), ValidationError> {
     for r in &schedule.reconfigurations {
         let Some(a) = schedule.assignments.get(r.outgoing_task.index()) else {
             return Err(ValidationError::DanglingReconfiguration {
@@ -178,9 +371,15 @@ pub fn validate_schedule(
             });
         }
     }
+    Ok(())
+}
 
-    // --- Controllers: at most k reconfigurations concurrently ---------------
-    // (k = 1 in the paper's model: reconfigurations fully serialize.)
+/// Controllers: at most k reconfigurations concurrently (k = 1 in the
+/// paper's model: reconfigurations fully serialize).
+fn check_contention(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+) -> Result<(), ValidationError> {
     let k = instance.architecture.num_reconfig_controllers.max(1);
     let mut events: Vec<(Time, i64)> = Vec::with_capacity(schedule.reconfigurations.len() * 2);
     for r in &schedule.reconfigurations {
@@ -198,7 +397,6 @@ pub fn validate_schedule(
             return Err(ValidationError::ReconfiguratorContention);
         }
     }
-
     Ok(())
 }
 
@@ -273,10 +471,18 @@ mod tests {
         (inst, schedule)
     }
 
+    /// Both checkers, asserting they agree before returning the verdict.
+    fn validate_both(inst: &ProblemInstance, s: &Schedule) -> Result<(), ValidationError> {
+        let oracle = validate_schedule(inst, s);
+        let sweep = validate_schedule_sweep(inst, s);
+        assert_eq!(oracle, sweep, "oracle and sweep checker disagree");
+        oracle
+    }
+
     #[test]
     fn valid_schedule_passes() {
         let (inst, s) = fixture();
-        assert_eq!(validate_schedule(&inst, &s), Ok(()));
+        assert_eq!(validate_both(&inst, &s), Ok(()));
     }
 
     #[test]
@@ -284,7 +490,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.assignments[1].start = 5;
         s.assignments[1].end = 17;
-        let err = validate_schedule(&inst, &s).unwrap_err();
+        let err = validate_both(&inst, &s).unwrap_err();
         // Start-before-producer-ends now also clashes with the region or
         // reconfiguration; precedence is checked first among ordering rules
         // only after shape checks, so accept any of the overlap flavors.
@@ -299,7 +505,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.reconfigurations.clear();
         assert_eq!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::MissingReconfiguration {
                 task: TaskId(1),
                 region: RegionId(0)
@@ -319,7 +525,7 @@ mod tests {
         s.assignments[1].start = 10;
         s.assignments[1].end = 20;
         s.reconfigurations.clear();
-        assert_eq!(validate_schedule(&inst2, &s), Ok(()));
+        assert_eq!(validate_both(&inst2, &s), Ok(()));
     }
 
     #[test]
@@ -327,7 +533,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.assignments[0].end = 9;
         assert_eq!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::DurationMismatch { task: TaskId(0) })
         );
     }
@@ -336,7 +542,7 @@ mod tests {
     fn detects_region_too_small() {
         let (inst, mut s) = fixture();
         s.regions[0].res = ResourceVec::new(4, 0, 0); // a_hw needs 5
-        let err = validate_schedule(&inst, &s).unwrap_err();
+        let err = validate_both(&inst, &s).unwrap_err();
         assert!(matches!(err, ValidationError::RegionTooSmall { .. }));
     }
 
@@ -347,7 +553,7 @@ mod tests {
             res: ResourceVec::new(19, 0, 0),
         });
         assert_eq!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::DeviceOverCapacity)
         );
     }
@@ -357,7 +563,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.reconfigurations[0].end = 14;
         // Shift task b so precedence/ordering still hold.
-        let err = validate_schedule(&inst, &s).unwrap_err();
+        let err = validate_both(&inst, &s).unwrap_err();
         assert!(matches!(
             err,
             ValidationError::ReconfigurationDurationMismatch { .. }
@@ -378,7 +584,7 @@ mod tests {
             start: 12,
             end: 17,
         });
-        let err = validate_schedule(&inst, &s).unwrap_err();
+        let err = validate_both(&inst, &s).unwrap_err();
         // The extra reconfiguration is dangling (task 1 lives in region 0),
         // which is also a legitimate rejection; accept either.
         assert!(matches!(
@@ -393,7 +599,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.assignments[0].placement = Placement::Core(0); // hw impl on a core
         assert_eq!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::PlacementKindMismatch { task: TaskId(0) })
         );
     }
@@ -431,7 +637,7 @@ mod tests {
             ],
             reconfigurations: vec![],
         };
-        let err = validate_schedule(&inst, &s).unwrap_err();
+        let err = validate_both(&inst, &s).unwrap_err();
         assert!(matches!(err, ValidationError::CoreOverlap { core: 0, .. }));
     }
 
@@ -440,7 +646,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.assignments[0].impl_id = ImplId(3); // b_hw, not in a's set
         assert_eq!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::ImplNotAvailable { task: TaskId(0) })
         );
     }
@@ -450,7 +656,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.assignments.pop();
         assert!(matches!(
-            validate_schedule(&inst, &s),
+            validate_both(&inst, &s),
             Err(ValidationError::AssignmentCountMismatch {
                 expected: 2,
                 actual: 1

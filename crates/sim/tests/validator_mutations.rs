@@ -5,12 +5,29 @@
 //! variant. This pins down the validator's sensitivity: a checker that
 //! silently accepts any of these mutants would also wave through the
 //! corresponding scheduler bug.
+//!
+//! Every mutant is fed to both the pairwise oracle (`validate_schedule`)
+//! and the sweep-line checker (`validate_schedule_sweep`), which must
+//! agree exactly; a systematic field-sweep corpus widens that agreement
+//! check far beyond the hand-picked mutants.
 
 use prfpga_model::{
     Architecture, Device, ImplPool, Implementation, Placement, ProblemInstance, Reconfiguration,
     Region, RegionId, ResourceVec, Schedule, TaskAssignment, TaskGraph, TaskId,
 };
-use prfpga_sim::{validate_schedule, ValidationError};
+use prfpga_sim::{validate_schedule, validate_schedule_sweep, ValidationError};
+
+/// Runs both checkers and asserts exact agreement — same acceptance, same
+/// first error — before returning the shared verdict.
+fn validate(inst: &ProblemInstance, s: &Schedule) -> Result<(), ValidationError> {
+    let oracle = validate_schedule(inst, s);
+    let sweep = validate_schedule_sweep(inst, s);
+    assert_eq!(
+        oracle, sweep,
+        "pairwise oracle and sweep checker disagree on a mutant"
+    );
+    oracle
+}
 
 const A: TaskId = TaskId(0); // hw, region 0, [0, 10)
 const B: TaskId = TaskId(1); // hw, region 0, [15, 27), needs a reconfiguration
@@ -129,7 +146,7 @@ fn fixture() -> (ProblemInstance, Schedule) {
 #[test]
 fn baseline_fixture_is_valid() {
     let (inst, s) = fixture();
-    assert_eq!(validate_schedule(&inst, &s), Ok(()));
+    assert_eq!(validate(&inst, &s), Ok(()));
 }
 
 /// Mutation: C starts before its producer A finishes. C sits on a core
@@ -142,7 +159,7 @@ fn start_before_dependency_is_precedence_violated() {
     s.assignments[C.index()].start = 5;
     s.assignments[C.index()].end = 13; // keep the 8-tick duration intact
     assert_eq!(
-        validate_schedule(&inst, &s),
+        validate(&inst, &s),
         Err(ValidationError::PrecedenceViolated { from: A, to: C })
     );
 }
@@ -153,7 +170,7 @@ fn region_below_implementation_is_region_too_small() {
     let (inst, mut s) = fixture();
     s.regions[0].res = ResourceVec::new(4, 0, 0);
     assert_eq!(
-        validate_schedule(&inst, &s),
+        validate(&inst, &s),
         Err(ValidationError::RegionTooSmall {
             task: A,
             region: RegionId(0)
@@ -168,7 +185,7 @@ fn dropped_reconfiguration_is_missing_reconfiguration() {
     let (inst, mut s) = fixture();
     s.reconfigurations.retain(|r| r.region != RegionId(0));
     assert_eq!(
-        validate_schedule(&inst, &s),
+        validate(&inst, &s),
         Err(ValidationError::MissingReconfiguration {
             task: B,
             region: RegionId(0)
@@ -184,7 +201,7 @@ fn two_tasks_on_one_core_is_core_overlap() {
     s.assignments[D.index()].start = 16;
     s.assignments[D.index()].end = 24;
     assert_eq!(
-        validate_schedule(&inst, &s),
+        validate(&inst, &s),
         Err(ValidationError::CoreOverlap {
             a: C,
             b: D,
@@ -203,7 +220,138 @@ fn overlapping_reconfigurations_are_reconfigurator_contention() {
     s.reconfigurations[1].start = 12;
     s.reconfigurations[1].end = 17;
     assert_eq!(
-        validate_schedule(&inst, &s),
+        validate(&inst, &s),
         Err(ValidationError::ReconfiguratorContention)
     );
+}
+
+// --- Systematic sweep-vs-oracle agreement corpus ---------------------------
+//
+// Single-field mutations applied mechanically to every slot, window and
+// reconfiguration record of the fixture. None of the expectations below are
+// about *which* error appears — only that the pairwise oracle and the
+// sweep-line checker return the exact same `Result` on every mutant.
+
+fn mutated(base: &Schedule, f: impl FnOnce(&mut Schedule)) -> Schedule {
+    let mut m = base.clone();
+    f(&mut m);
+    m
+}
+
+/// All single-field mutants of a schedule. Windows are kept non-inverted
+/// (`end >= start`): `duration()` on an inverted record is out of contract
+/// for both checkers alike.
+fn field_sweep_corpus(base: &Schedule) -> Vec<Schedule> {
+    let deltas: [i64; 8] = [-12, -5, -3, -1, 1, 3, 5, 12];
+    let mut out = Vec::new();
+    for i in 0..base.assignments.len() {
+        for &d in &deltas {
+            // Slide the whole slot.
+            out.push(mutated(base, |m| {
+                let a = &mut m.assignments[i];
+                let span = a.end - a.start;
+                a.start = a.start.saturating_add_signed(d);
+                a.end = a.start + span;
+            }));
+            // Resize by moving only the end.
+            out.push(mutated(base, |m| {
+                let a = &mut m.assignments[i];
+                a.end = a.end.saturating_add_signed(d).max(a.start);
+            }));
+        }
+        // Re-place on the other kind of lane.
+        out.push(mutated(base, |m| {
+            m.assignments[i].placement = match m.assignments[i].placement {
+                Placement::Core(_) => Placement::Region(RegionId(0)),
+                Placement::Region(_) => Placement::Core(0),
+            };
+        }));
+        // Point into the other region / an out-of-range one.
+        out.push(mutated(base, |m| {
+            m.assignments[i].placement = Placement::Region(RegionId(1));
+        }));
+        out.push(mutated(base, |m| {
+            m.assignments[i].placement = Placement::Region(RegionId(7));
+        }));
+    }
+    for ri in 0..base.reconfigurations.len() {
+        for &d in &deltas {
+            out.push(mutated(base, |m| {
+                let r = &mut m.reconfigurations[ri];
+                let span = r.end - r.start;
+                r.start = r.start.saturating_add_signed(d);
+                r.end = r.start + span;
+            }));
+            out.push(mutated(base, |m| {
+                let r = &mut m.reconfigurations[ri];
+                r.end = r.end.saturating_add_signed(d).max(r.start);
+            }));
+        }
+        // Retarget, drop and duplicate.
+        out.push(mutated(base, |m| {
+            let r = &mut m.reconfigurations[ri];
+            r.region = RegionId((r.region.0 + 1) % 2);
+        }));
+        out.push(mutated(base, |m| {
+            m.reconfigurations[ri].region = RegionId(9);
+        }));
+        out.push(mutated(base, |m| {
+            m.reconfigurations[ri].outgoing_task = A;
+        }));
+        out.push(mutated(base, |m| {
+            m.reconfigurations.remove(ri);
+        }));
+        out.push(mutated(base, |m| {
+            let dup = m.reconfigurations[ri];
+            m.reconfigurations.push(dup);
+        }));
+    }
+    for s in 0..base.regions.len() {
+        for clb in [0, 3, 4, 6, 19, 30] {
+            out.push(mutated(base, |m| {
+                m.regions[s].res = ResourceVec::new(clb, 0, 0);
+            }));
+        }
+    }
+    out.push(mutated(base, |m| {
+        m.assignments.pop();
+    }));
+    out.push(mutated(base, |m| {
+        m.regions.pop();
+    }));
+    out
+}
+
+/// Every single-field mutant gets the same verdict — accept or the same
+/// first error — from both checkers.
+#[test]
+fn sweep_agrees_with_oracle_on_field_sweep_corpus() {
+    let (inst, base) = fixture();
+    let corpus = field_sweep_corpus(&base);
+    assert!(corpus.len() > 100, "corpus unexpectedly small");
+    for (i, mutant) in corpus.iter().enumerate() {
+        let oracle = validate_schedule(&inst, mutant);
+        let sweep = validate_schedule_sweep(&inst, mutant);
+        assert_eq!(oracle, sweep, "checkers disagree on mutant #{i}");
+    }
+}
+
+/// Second-order corpus: every *pair* of single-field mutations, composed
+/// (~2·10⁴ double mutants). Quadratic in the corpus size, so release
+/// builds only.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quadratic double-mutation corpus; run in the release tier"
+)]
+fn sweep_agrees_with_oracle_on_double_mutants() {
+    let (inst, base) = fixture();
+    let corpus = field_sweep_corpus(&base);
+    for (i, first) in corpus.iter().enumerate() {
+        for (j, second) in field_sweep_corpus(first).into_iter().enumerate() {
+            let oracle = validate_schedule(&inst, &second);
+            let sweep = validate_schedule_sweep(&inst, &second);
+            assert_eq!(oracle, sweep, "checkers disagree on mutant #{i}.{j}");
+        }
+    }
 }

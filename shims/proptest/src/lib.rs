@@ -1,8 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! Implements the subset this workspace uses: the [`strategy::Strategy`] trait with
 //! `prop_map`/`prop_flat_map`, integer-range and tuple strategies,
-//! [`Just`], [`collection::vec`], [`option::of`], `ProptestConfig`, and
+//! [`strategy::Just`], [`collection::vec()`], [`option::of`], `ProptestConfig`, and
 //! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
 //! macros.
 //!
@@ -203,7 +203,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// How many elements a [`vec`] strategy generates.
+    /// How many elements a [`vec()`] strategy generates.
     #[derive(Clone, Copy, Debug)]
     pub enum SizeRange {
         /// Exactly this many.

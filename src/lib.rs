@@ -11,6 +11,9 @@
 //!   implementations, schedules);
 //! * [`dag`] — the dependency-graph substrate (topological order, CPM time
 //!   windows, cycle-safe sequencing arcs);
+//! * [`timeline`] — the typed lane-reservation kernel (core / region /
+//!   reconfiguration-controller lanes, gap queries, snapshot/rollback)
+//!   shared by the schedulers, the baselines and the simulator;
 //! * [`floorplan`] — a tile-grid fabric model and an exact feasibility
 //!   floorplanner standing in for the MILP floorplanner of the paper's
 //!   ref. \[3\];
@@ -60,6 +63,7 @@ pub use prfpga_gen as gen;
 pub use prfpga_model as model;
 pub use prfpga_sched as sched;
 pub use prfpga_sim as sim;
+pub use prfpga_timeline as timeline;
 
 /// Convenient glob-import surface covering the common API.
 pub mod prelude {
@@ -73,5 +77,5 @@ pub mod prelude {
     pub use prfpga_sched::{
         CostPolicy, OrderingPolicy, PaRScheduler, PaScheduler, SchedulerConfig,
     };
-    pub use prfpga_sim::validate_schedule;
+    pub use prfpga_sim::{validate_schedule, validate_schedule_sweep};
 }

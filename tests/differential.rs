@@ -73,6 +73,15 @@ fn all_schedulers_respect_cpm_lower_bound() {
             ];
             for (name, s) in runs {
                 validate_schedule(inst, &s).expect("valid schedule");
+                // The sweep-line checker must agree with the pairwise
+                // oracle on every real scheduler output, not only on the
+                // synthetic mutation corpus.
+                assert_eq!(
+                    validate_schedule_sweep(inst, &s),
+                    Ok(()),
+                    "{name} on {}: sweep checker disagrees with the oracle",
+                    inst.name
+                );
                 assert!(
                     s.makespan() >= bound,
                     "{name} on {}: makespan {} beats the CPM lower bound {}",
