@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use prfpga_dag::{CpmAnalysis, Dag};
 use prfpga_floorplan::{FloorplanOutcome, Floorplanner, FloorplannerConfig};
-use prfpga_model::{ProblemInstance, Schedule, TaskId, Time};
+use prfpga_model::{CancelToken, ProblemInstance, Schedule, TaskId, Time};
+use prfpga_sched::SchedError;
 
 use crate::partial::{PartialSchedule, TaskOption};
 
@@ -90,12 +91,26 @@ impl IsKScheduler {
     /// Schedules `inst` with diagnostics: iterate windows of `k` tasks in
     /// list order, solve each window exactly, commit; then check the
     /// floorplan and restart with shrunk virtual capacity on failure.
-    pub fn schedule_detailed(
+    pub fn schedule_detailed(&self, inst: &ProblemInstance) -> Result<IsKResult, SchedError> {
+        self.schedule_with_cancel(inst, &CancelToken::never())
+    }
+
+    /// [`schedule_detailed`](Self::schedule_detailed) honouring a
+    /// cooperative [`CancelToken`].
+    ///
+    /// Unlike PA/PA-R, IS-k has no cheap anytime fallback of its own — a
+    /// half-committed window prefix is not a schedule — so a fired token
+    /// yields a clean [`SchedError::DeadlineExceeded`]. The branch-and-bound
+    /// descent polls the token once per node and unwinds every applied move
+    /// through the timeline's rollback journal before returning, so the
+    /// partial-schedule state is fully rewound on the error path.
+    pub fn schedule_with_cancel(
         &self,
         inst: &ProblemInstance,
-    ) -> Result<IsKResult, prfpga_sched::SchedError> {
+        cancel: &CancelToken,
+    ) -> Result<IsKResult, SchedError> {
         inst.validate()
-            .map_err(|e| prfpga_sched::SchedError::InvalidInstance(e.to_string()))?;
+            .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
         let t0 = Instant::now();
         let order = list_order(inst)?;
         let planner = Floorplanner::new(self.config.floorplan.clone());
@@ -103,18 +118,25 @@ impl IsKScheduler {
         let mut virtual_inst = inst.clone();
 
         for attempt in 1..=self.config.max_attempts.max(1) {
-            let (schedule, nodes) = self.run_windows(&virtual_inst, &order);
+            if cancel.is_cancelled() {
+                return Err(SchedError::DeadlineExceeded);
+            }
+            let (schedule, nodes) = self.run_windows(&virtual_inst, &order, cancel)?;
             nodes_total += nodes;
             let demands: Vec<_> = schedule.regions.iter().map(|r| r.res).collect();
-            if let FloorplanOutcome::Feasible(_) =
-                planner.check_device(&inst.architecture.device, &demands)
-            {
+            let outcome = planner.check_device_cancel(&inst.architecture.device, &demands, cancel);
+            if let FloorplanOutcome::Feasible(_) = outcome {
                 return Ok(IsKResult {
                     schedule,
                     nodes_explored: nodes_total,
                     elapsed: t0.elapsed(),
                     attempts: attempt,
                 });
+            }
+            // A cancellation-induced Timeout is not a capacity verdict:
+            // surface the deadline instead of shrinking and retrying.
+            if cancel.is_cancelled() {
+                return Err(SchedError::DeadlineExceeded);
             }
             let (num, den) = self.config.shrink_factor;
             virtual_inst.architecture.device = virtual_inst
@@ -126,7 +148,7 @@ impl IsKScheduler {
         // All-software fallback.
         let mut zero = inst.clone();
         zero.architecture.device.max_res = prfpga_model::ResourceVec::ZERO;
-        let (schedule, nodes) = self.run_windows(&zero, &order);
+        let (schedule, nodes) = self.run_windows(&zero, &order, cancel)?;
         nodes_total += nodes;
         Ok(IsKResult {
             schedule,
@@ -137,8 +159,14 @@ impl IsKScheduler {
     }
 
     /// Runs the iterative window loop against (a possibly capacity-shrunk
-    /// copy of) the instance.
-    fn run_windows(&self, inst: &ProblemInstance, order: &[TaskId]) -> (Schedule, u64) {
+    /// copy of) the instance. `Err(DeadlineExceeded)` when `cancel` fires
+    /// mid-window; the in-progress window is rolled back before returning.
+    fn run_windows(
+        &self,
+        inst: &ProblemInstance,
+        order: &[TaskId],
+        cancel: &CancelToken,
+    ) -> Result<(Schedule, u64), SchedError> {
         let mut ps = PartialSchedule::new(inst);
         let mut nodes = 0u64;
         for window in order.chunks(self.config.k.max(1)) {
@@ -153,9 +181,17 @@ impl IsKScheduler {
                 nodes: 0,
                 best_cost: Time::MAX,
                 best: None,
+                cancel,
+                cancelled: false,
             };
             search.dfs(&mut ps, 0, &mut Vec::with_capacity(window.len()));
             nodes += search.nodes;
+            if search.cancelled {
+                // No partial commit: a half-explored window's incumbent may
+                // be arbitrarily bad and later windows would still need
+                // search time the deadline no longer affords.
+                return Err(SchedError::DeadlineExceeded);
+            }
             let plan = search
                 .best
                 .expect("software options always exist, so every window has a solution");
@@ -163,7 +199,7 @@ impl IsKScheduler {
                 ps.apply(*t, opt);
             }
         }
-        (ps.into_schedule(), nodes)
+        Ok((ps.into_schedule(), nodes))
     }
 }
 
@@ -229,18 +265,31 @@ struct WindowSearch<'a> {
     nodes: u64,
     best_cost: Time,
     best: Option<Vec<TaskOption>>,
+    cancel: &'a CancelToken,
+    cancelled: bool,
 }
 
 impl WindowSearch<'_> {
     /// In-place depth-first search: each branch is applied to `ps`,
     /// explored, and reverted through the timeline's rollback journal —
-    /// no per-branch clone of the partial schedule.
+    /// no per-branch clone of the partial schedule. A fired [`CancelToken`]
+    /// sets `cancelled` and unwinds; the undo discipline guarantees `ps` is
+    /// back to its pre-window state when the root call returns.
     fn dfs(&mut self, ps: &mut PartialSchedule<'_>, depth: usize, chosen: &mut Vec<TaskOption>) {
+        if self.cancelled {
+            return;
+        }
         if depth == self.window.len() {
             if ps.makespan < self.best_cost {
                 self.best_cost = ps.makespan;
                 self.best = Some(chosen.clone());
             }
+            return;
+        }
+        // One cancellation poll per internal node, mirroring the node
+        // budget's granularity.
+        if self.cancel.is_cancelled() {
+            self.cancelled = true;
             return;
         }
         if self.nodes >= self.budget && self.best.is_some() {
@@ -266,6 +315,9 @@ impl WindowSearch<'_> {
             self.dfs(ps, depth + 1, chosen);
             chosen.pop();
             ps.undo(mv);
+            if self.cancelled {
+                return;
+            }
             if self.nodes >= self.budget && self.best.is_some() {
                 return;
             }
@@ -394,6 +446,32 @@ mod tests {
         validate_schedule(&inst, &r.schedule).expect("valid");
         // The budget is per window (2 windows of 5) and per attempt.
         assert!(r.nodes_explored <= 50 * 2 * r.attempts as u64 + 1000);
+    }
+
+    #[test]
+    fn cancellation_yields_clean_deadline_error() {
+        let inst = instance(12, 53);
+        let isk = IsKScheduler::new(IsKConfig::is5());
+        let baseline_token = CancelToken::never();
+        let baseline = isk.schedule_with_cancel(&inst, &baseline_token).unwrap();
+        let total = baseline_token.polls();
+        assert!(total > 0, "the run must cross cancellation checkpoints");
+        for n in [1, 2, total / 2 + 1, total] {
+            let tok = CancelToken::fire_on_poll(n);
+            match isk.schedule_with_cancel(&inst, &tok) {
+                Err(SchedError::DeadlineExceeded) => {
+                    assert!(tok.deadline_hits() >= 1);
+                }
+                Ok(res) => assert_eq!(
+                    res.schedule, baseline.schedule,
+                    "a token firing after the last checkpoint cannot change the result"
+                ),
+                Err(e) => panic!("cancellation must never surface as {e}"),
+            }
+        }
+        // The never-firing path is unperturbed by the sweep machinery.
+        let again = isk.schedule_detailed(&inst).unwrap();
+        assert_eq!(again.schedule, baseline.schedule);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! enumerated by [`PartialSchedule::enumerate_options`], applied with
 //! [`PartialSchedule::apply`] and reverted with [`PartialSchedule::undo`],
 //! which is what lets branch-and-bound search walk the tree in place
-//! instead of cloning the state per branch.
+//! instead of cloning the state per branch. The same LIFO undo discipline
+//! is what makes cooperative cancellation safe: a descent aborted by a
+//! fired [`CancelToken`](prfpga_model::CancelToken) unwinds its applied
+//! moves on the way out, leaving the state exactly as it was before the
+//! window — rewound and reusable.
 
 use prfpga_model::{
     ImplId, Placement, ProblemInstance, Reconfiguration, Region, RegionId, ResourceVec, Schedule,
@@ -547,6 +551,49 @@ mod tests {
         assert!(ps.decisions[0].is_none());
         // The reverted state enumerates exactly the original options.
         assert_eq!(ps.enumerate_options(TaskId(0), true), before_opts);
+    }
+
+    #[test]
+    fn cancelled_descent_unwinds_to_pristine_state() {
+        // Mimics a branch-and-bound descent aborted by a fired CancelToken:
+        // the whole stack of applied moves is unwound in LIFO order, after
+        // which the partial schedule must behave exactly like a fresh one.
+        let inst = instance();
+        let greedy = |ps: &mut PartialSchedule<'_>| -> Schedule {
+            for t in inst.graph.task_ids() {
+                let best = ps
+                    .enumerate_options(t, true)
+                    .into_iter()
+                    .min_by_key(|o| (o.end, o.start))
+                    .unwrap();
+                ps.apply(t, &best);
+            }
+            ps.clone().into_schedule()
+        };
+
+        let mut fresh = PartialSchedule::new(&inst);
+        let expected = greedy(&mut fresh);
+
+        let mut ps = PartialSchedule::new(&inst);
+        let mut stack = Vec::new();
+        for t in inst.graph.task_ids() {
+            let opt = ps
+                .enumerate_options(t, true)
+                .into_iter()
+                .max_by_key(|o| (o.end, o.start))
+                .unwrap();
+            stack.push(ps.apply(t, &opt));
+        }
+        while let Some(mv) = stack.pop() {
+            ps.undo(mv);
+        }
+        assert_eq!(ps.makespan, 0);
+        assert_eq!(ps.used_res, ResourceVec::ZERO);
+        assert_eq!(
+            greedy(&mut ps),
+            expected,
+            "rewound state replays byte-identically"
+        );
     }
 
     #[test]

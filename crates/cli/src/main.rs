@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! prfpga generate --tasks 30 --seed 7 --out app.json [--topology layered]
-//! prfpga schedule --input app.json [--algo pa|par|is1|is5|heft] [--gantt]
-//!                 [--out schedule.json] [--budget-ms 500] [--trace]
+//! prfpga schedule --input app.json [--algo pa|par|is1|is5|heft|portfolio]
+//!                 [--gantt] [--out schedule.json] [--budget-ms 500]
+//!                 [--deadline-ms 50] [--portfolio] [--trace]
 //!                 [--threads N | --serial]
 //! prfpga validate --input app.json --schedule schedule.json
 //! prfpga devices
@@ -15,7 +16,8 @@ use std::time::Duration;
 use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
 use prfpga_gen::{GraphConfig, TaskGraphGenerator, Topology};
 use prfpga_model::{Architecture, Device, ProblemInstance, Schedule};
-use prfpga_sched::{PaRScheduler, PaScheduler, SchedulerConfig};
+use prfpga_portfolio::{Portfolio, PortfolioConfig};
+use prfpga_sched::{CancelToken, PaRScheduler, PaScheduler, SchedulerConfig};
 use prfpga_sim::{render_gantt, schedule_stats, validate_schedule};
 
 fn main() -> ExitCode {
@@ -35,9 +37,17 @@ const USAGE: &str = "usage:
   prfpga generate --tasks <n> [--seed <s>] [--topology layered|chain|forkjoin|seriesparallel]
                   [--cores <p>] [--device xc7z010|xc7z020|xc7z045]
                   [--recfreq <bits-per-tick>] [--comm <max-ticks>] --out <file.json>
-  prfpga schedule --input <file.json> [--algo pa|par|is1|is5|heft]
+  prfpga schedule --input <file.json> [--algo pa|par|is1|is5|heft|portfolio]
                   [--budget-ms <ms>] [--gantt] [--out <schedule.json>]
-                  [--trace]               (PA only: per-phase timing table)
+                  [--deadline-ms <ms>]    (hard wall-clock budget; PA/PA-R
+                                           degrade to their best-so-far
+                                           schedule, IS-k errors cleanly,
+                                           portfolio always answers)
+                  [--portfolio]           (shorthand for --algo portfolio)
+                  [--first-feasible]      (portfolio: first clean finisher
+                                           wins and cancels the rest)
+                  [--trace]               (PA: per-phase timing table;
+                                           portfolio: per-member race table)
                   [--threads <n>]         (PA-R workers; default: all cores,
                                            or the PRFPGA_THREADS variable)
                   [--serial]              (force single-threaded PA-R)
@@ -162,34 +172,51 @@ fn generate(args: &[String]) -> Result<(), String> {
 fn schedule(args: &[String]) -> Result<(), String> {
     let input = flag(args, "--input").ok_or("--input is required")?;
     let inst = ProblemInstance::load(&input).map_err(|e| e.to_string())?;
-    let algo = flag(args, "--algo").unwrap_or_else(|| "pa".into());
+    let algo = if has(args, "--portfolio") {
+        "portfolio".to_string()
+    } else {
+        flag(args, "--algo").unwrap_or_else(|| "pa".into())
+    };
     let budget_ms: u64 = flag(args, "--budget-ms")
         .map(|s| s.parse().map_err(|e| format!("--budget-ms: {e}")))
         .transpose()?
         .unwrap_or(1000);
+    let deadline: Option<Duration> = flag(args, "--deadline-ms")
+        .map(|s| s.parse().map_err(|e| format!("--deadline-ms: {e}")))
+        .transpose()?
+        .map(Duration::from_millis);
 
     let trace = has(args, "--trace");
-    if trace && algo != "pa" {
-        return Err("--trace requires --algo pa (only PA runs the traced pipeline)".into());
+    if trace && algo != "pa" && algo != "portfolio" {
+        return Err("--trace requires --algo pa or portfolio".into());
     }
     let threads = thread_policy(args)?;
     // Escape hatch for the warm-workspace fast path; schedules are
     // byte-identical either way, only throughput differs.
     let workspace_reuse = !has(args, "--no-workspace-reuse");
+    // One cooperative token for the whole run; `--deadline-ms` arms it,
+    // otherwise it never fires and behaviour is byte-identical to the
+    // deadline-free paths.
+    let cancel = match deadline {
+        Some(d) => CancelToken::after(d),
+        None => CancelToken::never(),
+    };
 
     let t0 = std::time::Instant::now();
     let mut phase_table: Option<String> = None;
+    let mut degraded = false;
     let sched: Schedule = match algo.as_str() {
         "pa" => {
             let r = PaScheduler::new(SchedulerConfig {
                 workspace_reuse,
                 ..Default::default()
             })
-            .schedule_detailed(&inst)
+            .schedule_with_cancel(&inst, &cancel)
             .map_err(|e| e.to_string())?;
             if trace {
                 phase_table = Some(r.trace.render_table());
             }
+            degraded = r.degraded;
             r.schedule
         }
         "par" => {
@@ -199,24 +226,65 @@ fn schedule(args: &[String]) -> Result<(), String> {
                 ..Default::default()
             });
             if threads > 1 {
-                par.schedule_parallel(&inst, threads)
+                par.schedule_parallel_with_cancel(&inst, threads, &cancel)
                     .map_err(|e| e.to_string())?
             } else {
-                par.schedule(&inst).map_err(|e| e.to_string())?
+                let r = par
+                    .schedule_with_cancel(&inst, &cancel)
+                    .map_err(|e| e.to_string())?;
+                degraded = r.degraded;
+                r.schedule
             }
         }
-        "is1" => IsKScheduler::new(IsKConfig::is1())
-            .schedule(&inst)
-            .map_err(|e| e.to_string())?,
-        "is5" => IsKScheduler::new(IsKConfig::is5())
-            .schedule(&inst)
-            .map_err(|e| e.to_string())?,
+        "is1" => {
+            IsKScheduler::new(IsKConfig::is1())
+                .schedule_with_cancel(&inst, &cancel)
+                .map_err(|e| e.to_string())?
+                .schedule
+        }
+        "is5" => {
+            IsKScheduler::new(IsKConfig::is5())
+                .schedule_with_cancel(&inst, &cancel)
+                .map_err(|e| e.to_string())?
+                .schedule
+        }
         "heft" => HeftScheduler::new()
             .schedule(&inst)
             .map_err(|e| e.to_string())?,
+        "portfolio" => {
+            let r = Portfolio::new(PortfolioConfig {
+                deadline,
+                first_feasible_wins: has(args, "--first-feasible"),
+                sched: SchedulerConfig {
+                    time_budget: Duration::from_millis(budget_ms),
+                    workspace_reuse,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .run(&inst)
+            .map_err(|e| e.to_string())?;
+            if trace {
+                phase_table = Some(r.render_report());
+            }
+            println!(
+                "portfolio winner: {}{}",
+                r.winner,
+                if r.deadline_hit {
+                    " (deadline hit)"
+                } else {
+                    ""
+                }
+            );
+            degraded = r.degraded;
+            r.schedule
+        }
         other => return Err(format!("unknown algorithm `{other}`")),
     };
     let elapsed = t0.elapsed();
+    if degraded {
+        println!("note: deadline fired mid-search; returning the best schedule found so far");
+    }
 
     validate_schedule(&inst, &sched).map_err(|e| format!("internal: invalid schedule: {e}"))?;
     let stats = schedule_stats(&inst, &sched);

@@ -99,6 +99,93 @@ fn every_algorithm_runs() {
 }
 
 #[test]
+fn portfolio_with_deadline_returns_schedule_and_trace() {
+    let inst = tmp("portfolio.json");
+    let out = bin()
+        .args(["generate", "--tasks", "20", "--seed", "11", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A tight deadline must still yield a validated schedule (possibly
+    // degraded), never an error, and --trace must name the winner and
+    // report the cancellation counters.
+    let out = bin()
+        .args([
+            "schedule",
+            "--portfolio",
+            "--deadline-ms",
+            "50",
+            "--trace",
+            "--input",
+        ])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("portfolio winner:"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stdout.contains("deadline hits across members"), "{stdout}");
+
+    // Without a deadline the race runs to completion: no degradation note.
+    let out = bin()
+        .args(["schedule", "--algo", "portfolio", "--input"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("portfolio winner:"), "{stdout}");
+    assert!(!stdout.contains("deadline fired mid-search"), "{stdout}");
+
+    let _ = std::fs::remove_file(&inst);
+}
+
+#[test]
+fn deadline_flag_works_for_every_algorithm() {
+    let inst = tmp("deadline_algos.json");
+    let out = bin()
+        .args(["generate", "--tasks", "12", "--seed", "5", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Generous deadline: every algorithm finishes cleanly under it.
+    for algo in ["pa", "par", "is1", "heft"] {
+        let out = bin()
+            .args([
+                "schedule",
+                "--algo",
+                algo,
+                "--deadline-ms",
+                "60000",
+                "--budget-ms",
+                "50",
+                "--input",
+            ])
+            .arg(&inst)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_file(&inst);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

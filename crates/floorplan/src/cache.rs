@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use prfpga_model::{Device, ResourceVec};
+use prfpga_model::{CancelToken, Device, ResourceVec};
 
 use crate::rect::Rect;
 use crate::solver::{FloorplanOutcome, Floorplanner};
@@ -194,13 +194,26 @@ impl FeasibilityCache {
     /// verdict when the canonical signature is known, a cold solve (whose
     /// exact outcome is then remembered) otherwise.
     pub fn check_device(&mut self, device: &Device, demands: &[ResourceVec]) -> FloorplanOutcome {
+        self.check_device_cancel(device, demands, &CancelToken::never())
+    }
+
+    /// [`Floorplanner::check_device_cancel`] through the cache. A `Timeout`
+    /// — including one induced by `cancel` firing mid-solve — is never
+    /// cached, so a cancelled query leaves the cache exactly as warm (and as
+    /// correct) as before the call.
+    pub fn check_device_cancel(
+        &mut self,
+        device: &Device,
+        demands: &[ResourceVec],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
         let Some((key, perm)) = canonical_key(device, demands) else {
-            return self.planner.check_device(device, demands);
+            return self.planner.check_device_cancel(device, demands, cancel);
         };
         if let Some(outcome) = self.core.lookup(&key, &perm) {
             return outcome;
         }
-        let outcome = self.planner.check_device(device, demands);
+        let outcome = self.planner.check_device_cancel(device, demands, cancel);
         self.core.insert(key, &outcome, &perm);
         outcome
     }
@@ -244,13 +257,23 @@ impl SharedFeasibilityCache {
 
     /// See [`FeasibilityCache::check_device`].
     pub fn check_device(&self, device: &Device, demands: &[ResourceVec]) -> FloorplanOutcome {
+        self.check_device_cancel(device, demands, &CancelToken::never())
+    }
+
+    /// See [`FeasibilityCache::check_device_cancel`].
+    pub fn check_device_cancel(
+        &self,
+        device: &Device,
+        demands: &[ResourceVec],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
         let Some((key, perm)) = canonical_key(device, demands) else {
-            return self.planner.check_device(device, demands);
+            return self.planner.check_device_cancel(device, demands, cancel);
         };
         if let Some(outcome) = self.core.lock().lookup(&key, &perm) {
             return outcome;
         }
-        let outcome = self.planner.check_device(device, demands);
+        let outcome = self.planner.check_device_cancel(device, demands, cancel);
         self.core.lock().insert(key, &outcome, &perm);
         outcome
     }

@@ -1,8 +1,8 @@
 //! Exact backtracking search for a disjoint placement of all regions.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use prfpga_model::{Device, FabricGeometry, ResourceVec};
+use prfpga_model::{CancelToken, Device, FabricGeometry, ResourceVec};
 
 use crate::candidates::minimal_rects;
 use crate::rect::Rect;
@@ -12,7 +12,10 @@ use crate::rect::Rect;
 pub struct FloorplannerConfig {
     /// Wall-clock budget for one `solve` call. The paper runs its MILP
     /// floorplanner "to verify the existence of a solution in a small
-    /// amount of time"; the same contract applies here.
+    /// amount of time"; the same contract applies here. Enforced as an
+    /// internal [`CancelToken`] deadline; callers with their own deadline
+    /// layer it on top via [`Floorplanner::solve_cancel`], and whichever
+    /// fires first yields [`FloorplanOutcome::Timeout`].
     pub time_limit: Duration,
     /// Cap on candidate rectangles kept per region (smallest first). The
     /// enumeration is complete; the cap trades completeness for speed on
@@ -84,14 +87,41 @@ impl Floorplanner {
     /// beyond the capacity checks the scheduler already performs, so it
     /// reports `Feasible` with no witness rectangles.
     pub fn check_device(&self, device: &Device, demands: &[ResourceVec]) -> FloorplanOutcome {
+        self.check_device_cancel(device, demands, &CancelToken::never())
+    }
+
+    /// [`check_device`](Self::check_device) honouring a caller-supplied
+    /// [`CancelToken`] in addition to the configured `time_limit`.
+    pub fn check_device_cancel(
+        &self,
+        device: &Device,
+        demands: &[ResourceVec],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
         match &device.geometry {
-            Some(geom) => self.solve(geom, demands),
+            Some(geom) => self.solve_cancel(geom, demands, cancel),
             None => FloorplanOutcome::Feasible(vec![]),
         }
     }
 
     /// Exact search for a disjoint placement of `demands` on `geometry`.
     pub fn solve(&self, geometry: &FabricGeometry, demands: &[ResourceVec]) -> FloorplanOutcome {
+        self.solve_cancel(geometry, demands, &CancelToken::never())
+    }
+
+    /// [`solve`](Self::solve) honouring a caller-supplied [`CancelToken`].
+    ///
+    /// The configured `time_limit` and the caller's token are unified on the
+    /// same mechanism: each search node polls `cancel` (counting a poll on
+    /// the caller's token) and peeks the internal per-call budget; whichever
+    /// fires first terminates the search with [`FloorplanOutcome::Timeout`].
+    /// The caller observes the distinction through its own token state.
+    pub fn solve_cancel(
+        &self,
+        geometry: &FabricGeometry,
+        demands: &[ResourceVec],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
         if demands.is_empty() {
             return FloorplanOutcome::Feasible(vec![]);
         }
@@ -123,7 +153,14 @@ impl Floorplanner {
             }
         }
 
-        let deadline = Instant::now() + self.config.time_limit;
+        // Internal per-call budget, peeked (non-counting) alongside the
+        // caller's token at every checkpoint below.
+        let budget = CancelToken::after(self.config.time_limit);
+        // Checkpoint before the candidate enumeration + greedy passes, the
+        // first non-trivial work in this call.
+        if cancel.is_cancelled() || budget.fired() {
+            return FloorplanOutcome::Timeout;
+        }
 
         // Candidate sets. Ordering matters a lot: BRAM/DSP columns are the
         // scarce commodity on a column fabric, so a candidate that covers
@@ -251,8 +288,10 @@ impl Floorplanner {
             sym_prev: &sym_prev,
             rem_min_area: &rem_min_area,
             total_cells,
-            deadline,
+            cancel,
+            budget: &budget,
             timed_out: false,
+            nodes: 0,
             chosen_idx: Vec::with_capacity(regions.len()),
             chosen: Vec::with_capacity(regions.len()),
             used_cells: 0,
@@ -276,14 +315,22 @@ impl Floorplanner {
     }
 }
 
+/// Caller-token poll stride inside the DFS: one counted poll every this
+/// many nodes. Bounds both the polling overhead on hot searches and the
+/// size of exhaustive fire-on-every-poll sweeps in the cancellation tests,
+/// while keeping worst-case cancellation latency at a few microseconds.
+const CANCEL_POLL_STRIDE: u64 = 64;
+
 /// DFS state for the exact search.
 struct Search<'a> {
     regions: &'a [(usize, Vec<Rect>)],
     sym_prev: &'a [Option<usize>],
     rem_min_area: &'a [u64],
     total_cells: u64,
-    deadline: Instant,
+    cancel: &'a CancelToken,
+    budget: &'a CancelToken,
     timed_out: bool,
+    nodes: u64,
     chosen_idx: Vec<usize>,
     chosen: Vec<Rect>,
     used_cells: u64,
@@ -297,8 +344,13 @@ impl Search<'_> {
         if depth == self.regions.len() {
             return true;
         }
-        // Clock check once per node, not per candidate.
-        if Instant::now() > self.deadline {
+        // Cancellation checkpoint: the internal time limit is peeked every
+        // node, the caller's token polled (counted) once per
+        // [`CANCEL_POLL_STRIDE`] nodes.
+        self.nodes += 1;
+        if (self.nodes.is_multiple_of(CANCEL_POLL_STRIDE) && self.cancel.is_cancelled())
+            || self.budget.fired()
+        {
             self.timed_out = true;
             return false;
         }
@@ -442,6 +494,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn caller_token_cancels_solve() {
+        // A token that fires on its very first poll aborts the search as a
+        // Timeout even though the internal time limit is generous.
+        let cancel = CancelToken::fire_on_poll(1);
+        let out = planner().solve_cancel(&geom(), &[ResourceVec::new(100, 10, 0)], &cancel);
+        assert_eq!(out, FloorplanOutcome::Timeout);
+        assert_eq!(cancel.deadline_hits(), 1);
+    }
+
+    #[test]
+    fn never_token_matches_plain_solve() {
+        let demands = vec![ResourceVec::new(100, 10, 0), ResourceVec::new(50, 0, 20)];
+        let plain = planner().solve(&geom(), &demands);
+        let token = planner().solve_cancel(&geom(), &demands, &CancelToken::never());
+        assert_eq!(plain, token);
     }
 
     #[test]

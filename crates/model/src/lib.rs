@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod architecture;
+pub mod cancel;
 pub mod device;
 pub mod error;
 pub mod implementation;
@@ -34,6 +35,7 @@ pub mod taskgraph;
 pub mod time;
 
 pub use architecture::Architecture;
+pub use cancel::{Budget, CancelToken, FakeClock};
 pub use device::{Device, FabricColumn, FabricGeometry};
 pub use error::ModelError;
 pub use implementation::{ImplId, ImplKind, ImplPool, Implementation};

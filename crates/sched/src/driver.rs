@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use prfpga_floorplan::{
     FeasibilityCache, FloorplanOutcome, Floorplanner, Rect, DEFAULT_CACHE_CAPACITY,
 };
-use prfpga_model::{Device, ProblemInstance, ResourceVec, Schedule};
+use prfpga_model::{CancelToken, Device, ProblemInstance, ResourceVec, Schedule};
 
 use prfpga_model::ImplId;
 
@@ -55,6 +55,11 @@ pub struct PaResult {
     /// (phase H's time equals `floorplanning_time`; the scheduling phases
     /// account for `scheduling_time` minus loop scaffolding).
     pub trace: PhaseTrace,
+    /// True when the run's [`CancelToken`] fired mid-search and the
+    /// returned schedule is an *anytime* result — the best feasible answer
+    /// available at cancellation time — rather than the full search's
+    /// output. Always `false` when no deadline was set.
+    pub degraded: bool,
 }
 
 /// The deterministic scheduler (*PA*).
@@ -86,6 +91,42 @@ impl PaScheduler {
     /// `max_attempts` the all-software schedule (zero virtual capacity,
     /// trivially floorplannable) is returned.
     pub fn schedule_detailed(&self, inst: &ProblemInstance) -> Result<PaResult, SchedError> {
+        self.schedule_with_cancel(inst, &CancelToken::never())
+    }
+
+    /// [`schedule_detailed`](Self::schedule_detailed) honouring a
+    /// cooperative [`CancelToken`].
+    ///
+    /// The restart loop polls `cancel` before each pipeline run, between the
+    /// pipeline and the floorplanner, and after a non-feasible verdict; the
+    /// floorplanner's exact search additionally polls it once per node. When
+    /// the token fires, PA is *anytime*: it runs the (bounded, floorplan-
+    /// free) all-software fallback pipeline once and returns that trivially
+    /// feasible schedule flagged [`PaResult::degraded`] instead of erroring.
+    /// With a never-firing token the result is byte-identical to
+    /// [`schedule_detailed`](Self::schedule_detailed).
+    pub fn schedule_with_cancel(
+        &self,
+        inst: &ProblemInstance,
+        cancel: &CancelToken,
+    ) -> Result<PaResult, SchedError> {
+        let mut ws = SchedWorkspace::new();
+        self.schedule_with_cancel_in(inst, cancel, &mut ws)
+    }
+
+    /// [`schedule_with_cancel`](Self::schedule_with_cancel) against a
+    /// caller-owned [`SchedWorkspace`].
+    ///
+    /// Every exit — feasible, degraded, or cancelled — leaves `ws` rewound
+    /// and reusable: a subsequent un-cancelled run through the same
+    /// workspace produces a byte-identical schedule (the cancellation-sweep
+    /// harness asserts exactly this).
+    pub fn schedule_with_cancel_in(
+        &self,
+        inst: &ProblemInstance,
+        cancel: &CancelToken,
+        ws: &mut SchedWorkspace,
+    ) -> Result<PaResult, SchedError> {
         inst.validate()
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
 
@@ -97,9 +138,13 @@ impl PaScheduler {
         let mut floorplanning_time = Duration::ZERO;
         let recorder = Arc::new(TraceRecorder::new());
         let observer = ObserverHandle::new(recorder.clone());
+        // Deltas, not absolutes: the caller may reuse one token across
+        // several runs (the portfolio does), so the trace reports only this
+        // call's share of the counters.
+        let polls0 = cancel.polls();
+        let hits0 = cancel.deadline_hits();
         // Per-call reuse machinery, both gated on `workspace_reuse` so the
         // fresh-allocation path stays available as a differential baseline.
-        let mut ws = SchedWorkspace::new();
         let mut cache = self
             .config
             .workspace_reuse
@@ -125,53 +170,84 @@ impl PaScheduler {
         let report_stats = |ws: &SchedWorkspace, cache: &Option<FeasibilityCache>| {
             let stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
             observer.workspace_stats(ws.reuses(), stats.hits, stats.misses);
+            observer.cancel_stats(cancel.polls() - polls0, cancel.deadline_hits() - hits0);
         };
 
-        for attempt in 1..=self.config.max_attempts.max(1) {
-            observer.pipeline_started(attempt);
-            let t0 = Instant::now();
-            let schedule = run_pipeline(&mut ws, &virtual_device);
-            scheduling_time += t0.elapsed();
+        // Pipeline runs performed so far; the fallback below is run number
+        // `runs + 1` whether the loop ran to exhaustion or was cut short.
+        let mut runs = 0usize;
+        let mut degraded = false;
+        'search: {
+            for attempt in 1..=self.config.max_attempts.max(1) {
+                if cancel.is_cancelled() {
+                    degraded = true;
+                    break 'search;
+                }
+                observer.pipeline_started(attempt);
+                runs = attempt;
+                let t0 = Instant::now();
+                let schedule = run_pipeline(ws, &virtual_device);
+                scheduling_time += t0.elapsed();
 
-            let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
-            let t1 = Instant::now();
-            // Memoized feasibility: within one call only Infeasible
-            // verdicts can repeat (a Feasible one would have ended the
-            // loop), so any Feasible witness returned below comes from a
-            // cold solve — byte-identical to the uncached path.
-            let outcome = match cache.as_mut() {
-                Some(c) => c.check_device(real_device, &demands),
-                None => self.planner.check_device(real_device, &demands),
-            };
-            let fp_elapsed = t1.elapsed();
-            floorplanning_time += fp_elapsed;
-            observer.phase_finished(Phase::Floorplan, fp_elapsed);
+                // Poll before paying for the floorplanner: a deadline that
+                // fired during the pipeline must not charge a (possibly
+                // long) exact placement search to an expired budget.
+                if cancel.is_cancelled() {
+                    degraded = true;
+                    break 'search;
+                }
+                let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
+                let t1 = Instant::now();
+                // Memoized feasibility: within one call only Infeasible
+                // verdicts can repeat (a Feasible one would have ended the
+                // loop), so any Feasible witness returned below comes from a
+                // cold solve — byte-identical to the uncached path.
+                let outcome = match cache.as_mut() {
+                    Some(c) => c.check_device_cancel(real_device, &demands, cancel),
+                    None => self
+                        .planner
+                        .check_device_cancel(real_device, &demands, cancel),
+                };
+                let fp_elapsed = t1.elapsed();
+                floorplanning_time += fp_elapsed;
+                observer.phase_finished(Phase::Floorplan, fp_elapsed);
 
-            if let FloorplanOutcome::Feasible(rects) = outcome {
-                report_stats(&ws, &cache);
-                return Ok(PaResult {
-                    schedule,
-                    scheduling_time,
-                    floorplanning_time,
-                    attempts: attempt,
-                    floorplan: rects,
-                    trace: recorder.snapshot(),
-                });
+                if let FloorplanOutcome::Feasible(rects) = outcome {
+                    report_stats(ws, &cache);
+                    return Ok(PaResult {
+                        schedule,
+                        scheduling_time,
+                        floorplanning_time,
+                        attempts: attempt,
+                        floorplan: rects,
+                        trace: recorder.snapshot(),
+                        degraded: false,
+                    });
+                }
+                // A Timeout induced by the token firing mid-solve is a
+                // statement about the clock, not the capacity: checking here
+                // keeps it from consuming a ratchet shrink.
+                if cancel.is_cancelled() {
+                    degraded = true;
+                    break 'search;
+                }
+                let (num, den) = self.config.shrink_factor;
+                virtual_device.scale_capacity_in_place(num, den);
             }
-            let (num, den) = self.config.shrink_factor;
-            virtual_device.scale_capacity_in_place(num, den);
         }
 
         // All-software fallback: zero virtual capacity forces every task to
-        // software; no regions, trivially feasible.
-        let attempts = self.config.max_attempts.max(1) + 1;
+        // software; no regions, trivially feasible, no floorplan query. On
+        // the cancelled path this one bounded pipeline pass is the price of
+        // the anytime guarantee — PA always returns a valid schedule.
+        let attempts = runs + 1;
         observer.pipeline_started(attempts);
         let t0 = Instant::now();
         virtual_device.max_res = ResourceVec::ZERO;
-        let schedule = run_pipeline(&mut ws, &virtual_device);
+        let schedule = run_pipeline(ws, &virtual_device);
         scheduling_time += t0.elapsed();
         debug_assert!(schedule.regions.is_empty());
-        report_stats(&ws, &cache);
+        report_stats(ws, &cache);
         Ok(PaResult {
             schedule,
             scheduling_time,
@@ -179,6 +255,7 @@ impl PaScheduler {
             attempts,
             floorplan: vec![],
             trace: recorder.snapshot(),
+            degraded,
         })
     }
 }

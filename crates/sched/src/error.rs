@@ -14,6 +14,10 @@ pub enum SchedError {
     NoFeasibleSchedule,
     /// The instance failed semantic validation.
     InvalidInstance(String),
+    /// A cooperative [`CancelToken`](prfpga_model::CancelToken) fired before
+    /// any schedule (even a degraded one) could be produced. The workspace is
+    /// left rewound and reusable.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SchedError {
@@ -22,6 +26,9 @@ impl fmt::Display for SchedError {
             SchedError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
             SchedError::NoFeasibleSchedule => write!(f, "no feasible schedule found"),
             SchedError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            SchedError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before a schedule was found")
+            }
         }
     }
 }

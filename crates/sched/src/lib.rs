@@ -48,6 +48,10 @@ pub mod trace;
 pub use config::{CostPolicy, OrderingPolicy, SchedulerConfig};
 pub use driver::{PaResult, PaScheduler};
 pub use error::SchedError;
+// The cancellation kernel lives in `prfpga-model` (so leaf crates can accept
+// tokens without a dependency cycle) and is re-exported here as the
+// scheduler-facing API surface.
+pub use prfpga_model::{Budget, CancelToken, FakeClock};
 pub use randomized::{ConvergencePoint, PaRResult, PaRScheduler};
 pub use state::{SchedState, SchedWorkspace};
 pub use trace::{ObserverHandle, Phase, PhaseObserver, PhaseTrace, TraceRecorder};

@@ -19,7 +19,7 @@ use prfpga_floorplan::{
     CacheStats, FeasibilityCache, FloorplanOutcome, Floorplanner, SharedFeasibilityCache,
     DEFAULT_CACHE_CAPACITY,
 };
-use prfpga_model::{ProblemInstance, ResourceVec, Schedule, Time};
+use prfpga_model::{CancelToken, ProblemInstance, ResourceVec, Schedule, Time};
 
 use crate::config::{OrderingPolicy, SchedulerConfig};
 use crate::driver::{do_schedule, do_schedule_in, ImplSelectMemo, PaScheduler};
@@ -55,6 +55,16 @@ pub struct PaRResult {
     /// Floorplan-feasibility cache counters (all-zero when
     /// `workspace_reuse` is off or the device carries no geometry).
     pub fp_cache: CacheStats,
+    /// True when the run's [`CancelToken`] fired mid-search: the returned
+    /// schedule is the incumbent at cancellation time (or the degraded PA
+    /// fallback if nothing feasible existed yet). Always `false` when no
+    /// deadline was set; a naturally exhausted `time_budget` does not count
+    /// as degradation.
+    pub degraded: bool,
+    /// Cancellation checkpoints this call polled on its token.
+    pub cancel_polls: u64,
+    /// Checkpoints that observed the fired deadline.
+    pub deadline_hits: u64,
 }
 
 impl PaRResult {
@@ -90,9 +100,42 @@ impl PaRScheduler {
 
     /// Runs the randomized search (Algorithm 1) with full diagnostics.
     pub fn schedule_detailed(&self, inst: &ProblemInstance) -> Result<PaRResult, SchedError> {
+        self.schedule_with_cancel(inst, &CancelToken::never())
+    }
+
+    /// [`schedule_detailed`](Self::schedule_detailed) honouring a
+    /// cooperative [`CancelToken`].
+    ///
+    /// PA-R is *anytime*: the search polls `cancel` once per iteration and
+    /// around every floorplan check; when the token fires it returns the
+    /// best feasible incumbent found so far flagged
+    /// [`PaRResult::degraded`], or — if no feasible candidate exists yet —
+    /// the deterministic PA's degraded fallback. With a never-firing token
+    /// the result is byte-identical to
+    /// [`schedule_detailed`](Self::schedule_detailed).
+    pub fn schedule_with_cancel(
+        &self,
+        inst: &ProblemInstance,
+        cancel: &CancelToken,
+    ) -> Result<PaRResult, SchedError> {
+        let mut ws = SchedWorkspace::new();
+        self.schedule_with_cancel_in(inst, cancel, &mut ws)
+    }
+
+    /// [`schedule_with_cancel`](Self::schedule_with_cancel) against a
+    /// caller-owned [`SchedWorkspace`]; every exit leaves `ws` rewound and
+    /// reusable.
+    pub fn schedule_with_cancel_in(
+        &self,
+        inst: &ProblemInstance,
+        cancel: &CancelToken,
+        ws: &mut SchedWorkspace,
+    ) -> Result<PaRResult, SchedError> {
         inst.validate()
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
 
+        let polls0 = cancel.polls();
+        let hits0 = cancel.deadline_hits();
         let planner = Floorplanner::new(self.config.floorplan.clone());
         // Virtual capacity ratchet: Algorithm 1 discards floorplan-
         // infeasible candidates outright, but a pipeline run that packs the
@@ -111,7 +154,6 @@ impl PaRScheduler {
         // iteration (gated on `workspace_reuse`; verdicts are exact, so
         // the search trajectory is byte-identical either way).
         let reuse = self.config.workspace_reuse;
-        let mut ws = SchedWorkspace::new();
         let mut memo = ImplSelectMemo::default();
         let mut cache = FeasibilityCache::new(planner.clone(), DEFAULT_CACHE_CAPACITY);
         let noop = ObserverHandle::noop();
@@ -120,6 +162,7 @@ impl PaRScheduler {
         let mut best_makespan = Time::MAX;
         let mut trace = Vec::new();
         let mut iterations = 0usize;
+        let mut cancelled = false;
 
         loop {
             if self.config.max_iterations > 0 && iterations >= self.config.max_iterations {
@@ -130,12 +173,16 @@ impl PaRScheduler {
             if iterations > 0 && Instant::now() >= deadline {
                 break;
             }
+            if cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
             iterations += 1;
             let order_seed: u64 = rng.random();
             let ordering = OrderingPolicy::RandomizedNonCritical(order_seed);
             let schedule = if reuse {
                 do_schedule_in(
-                    &mut ws,
+                    ws,
                     inst,
                     &virtual_device,
                     &self.config,
@@ -151,9 +198,9 @@ impl PaRScheduler {
                 // Pay for the floorplanner only on improvement (Algorithm 1).
                 let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
                 let outcome = if reuse {
-                    cache.check_device(&inst.architecture.device, &demands)
+                    cache.check_device_cancel(&inst.architecture.device, &demands, cancel)
                 } else {
-                    planner.check_device(&inst.architecture.device, &demands)
+                    planner.check_device_cancel(&inst.architecture.device, &demands, cancel)
                 };
                 if let FloorplanOutcome::Feasible(_) = outcome {
                     best_makespan = makespan;
@@ -163,30 +210,51 @@ impl PaRScheduler {
                         elapsed: start.elapsed(),
                         makespan,
                     });
-                } else if shrinks_left > 0 {
-                    let (num, den) = self.config.shrink_factor;
-                    virtual_device.scale_capacity_in_place(num, den);
-                    shrinks_left -= 1;
+                } else {
+                    // A non-feasible verdict caused by the token firing
+                    // mid-solve is a Timeout, not a capacity statement:
+                    // break before it can consume a ratchet shrink.
+                    if cancel.is_cancelled() {
+                        cancelled = true;
+                        break;
+                    }
+                    if shrinks_left > 0 {
+                        let (num, den) = self.config.shrink_factor;
+                        virtual_device.scale_capacity_in_place(num, den);
+                        shrinks_left -= 1;
+                    }
                 }
             }
         }
 
         let workspace_reuses = ws.reuses();
         let fp_cache = cache.stats();
+        let counters = |c: &CancelToken| (c.polls() - polls0, c.deadline_hits() - hits0);
         match best {
-            Some(schedule) => Ok(PaRResult {
-                schedule,
-                iterations,
-                trace,
-                elapsed: start.elapsed(),
-                workspace_reuses,
-                fp_cache,
-            }),
-            // Every random candidate was floorplan-infeasible: fall back to
-            // the deterministic PA, whose shrinking loop always terminates
-            // with a feasible (possibly all-software) schedule.
+            Some(schedule) => {
+                let (cancel_polls, deadline_hits) = counters(cancel);
+                Ok(PaRResult {
+                    schedule,
+                    iterations,
+                    trace,
+                    elapsed: start.elapsed(),
+                    workspace_reuses,
+                    fp_cache,
+                    degraded: cancelled,
+                    cancel_polls,
+                    deadline_hits,
+                })
+            }
+            // Every random candidate was floorplan-infeasible (or the token
+            // fired before one could be checked): fall back to the
+            // deterministic PA, whose shrinking loop always terminates with
+            // a feasible (possibly all-software, possibly degraded)
+            // schedule. The token is passed through, so a fired deadline
+            // short-circuits the fallback to PA's bounded degraded path.
             None => {
-                let pa = PaScheduler::new(self.config.clone()).schedule_detailed(inst)?;
+                let pa =
+                    PaScheduler::new(self.config.clone()).schedule_with_cancel(inst, cancel)?;
+                let (cancel_polls, deadline_hits) = counters(cancel);
                 Ok(PaRResult {
                     schedule: pa.schedule,
                     iterations,
@@ -194,6 +262,9 @@ impl PaRScheduler {
                     elapsed: start.elapsed(),
                     workspace_reuses,
                     fp_cache,
+                    degraded: cancelled || pa.degraded,
+                    cancel_polls,
+                    deadline_hits,
                 })
             }
         }
@@ -210,9 +281,24 @@ impl PaRScheduler {
         inst: &ProblemInstance,
         threads: usize,
     ) -> Result<Schedule, SchedError> {
+        self.schedule_parallel_with_cancel(inst, threads, &CancelToken::never())
+    }
+
+    /// [`schedule_parallel`](Self::schedule_parallel) honouring a
+    /// cooperative [`CancelToken`] shared by all workers: each worker polls
+    /// it once per iteration (poll counts aggregate across workers) and
+    /// stops as soon as it fires. The incumbent at cancellation time is
+    /// returned; with none, the deterministic PA's (possibly degraded)
+    /// fallback runs under the same token.
+    pub fn schedule_parallel_with_cancel(
+        &self,
+        inst: &ProblemInstance,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedError> {
         let threads = threads.max(1);
         if threads == 1 {
-            return self.schedule(inst);
+            return self.schedule_with_cancel(inst, cancel).map(|r| r.schedule);
         }
         inst.validate()
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
@@ -257,6 +343,9 @@ impl PaRScheduler {
                         if iters > 0 && Instant::now() >= deadline {
                             break;
                         }
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         iters += 1;
                         let order_seed: u64 = rng.random();
                         let ordering = OrderingPolicy::RandomizedNonCritical(order_seed);
@@ -278,9 +367,17 @@ impl PaRScheduler {
                             let demands: Vec<ResourceVec> =
                                 schedule.regions.iter().map(|r| r.res).collect();
                             let outcome = if reuse {
-                                cache.check_device(&inst.architecture.device, &demands)
+                                cache.check_device_cancel(
+                                    &inst.architecture.device,
+                                    &demands,
+                                    cancel,
+                                )
                             } else {
-                                planner.check_device(&inst.architecture.device, &demands)
+                                planner.check_device_cancel(
+                                    &inst.architecture.device,
+                                    &demands,
+                                    cancel,
+                                )
                             };
                             if let FloorplanOutcome::Feasible(_) = outcome {
                                 let mut guard = best.lock();
@@ -303,7 +400,7 @@ impl PaRScheduler {
         match found {
             Some(s) => Ok(s),
             None => PaScheduler::new(self.config.clone())
-                .schedule_detailed(inst)
+                .schedule_with_cancel(inst, cancel)
                 .map(|r| r.schedule),
         }
     }

@@ -125,6 +125,11 @@ pub trait PhaseObserver: Send + Sync {
     /// reservations (core occupancies in phase F plus controller windows
     /// in phase G) and gap/arbitration queries answered.
     fn timeline_stats(&self, _reservations: u64, _gap_queries: u64) {}
+
+    /// End-of-run cancellation counters: checkpoints polled on the call's
+    /// [`CancelToken`](prfpga_model::CancelToken) and how many of them
+    /// observed the fired state (0 hits = the deadline never fired).
+    fn cancel_stats(&self, _cancel_polls: u64, _deadline_hits: u64) {}
 }
 
 /// The do-nothing observer used by untraced paths.
@@ -206,6 +211,12 @@ pub struct PhaseTrace {
     /// Gap / arbitration queries the last pipeline run's timeline kernel
     /// answered.
     pub timeline_gap_queries: u64,
+    /// Cancellation checkpoints polled on the run's `CancelToken` (0 when
+    /// the caller did not supply one).
+    pub cancel_polls: u64,
+    /// Checkpoints that observed the fired deadline (nonzero exactly when
+    /// the run was cut short and returned a degraded result).
+    pub deadline_hits: u64,
 }
 
 impl PhaseTrace {
@@ -264,6 +275,10 @@ impl PhaseTrace {
         out.push_str(&format!(
             "timeline {} reservations / {} gap queries\n",
             self.timeline_reservations, self.timeline_gap_queries,
+        ));
+        out.push_str(&format!(
+            "cancellation {} polls / {} deadline hits\n",
+            self.cancel_polls, self.deadline_hits,
         ));
         out
     }
@@ -328,6 +343,12 @@ impl PhaseObserver for TraceRecorder {
         let mut t = self.inner.lock();
         t.timeline_reservations = reservations;
         t.timeline_gap_queries = gap_queries;
+    }
+
+    fn cancel_stats(&self, cancel_polls: u64, deadline_hits: u64) {
+        let mut t = self.inner.lock();
+        t.cancel_polls = cancel_polls;
+        t.deadline_hits = deadline_hits;
     }
 }
 
@@ -406,6 +427,18 @@ mod tests {
         assert!(t
             .render_table()
             .contains("timeline 11 reservations / 24 gap queries"));
+    }
+
+    #[test]
+    fn cancel_stats_overwrite_and_render() {
+        let rec = TraceRecorder::new();
+        rec.cancel_stats(40, 0);
+        rec.cancel_stats(55, 2);
+        let t = rec.snapshot();
+        assert_eq!((t.cancel_polls, t.deadline_hits), (55, 2));
+        assert!(t
+            .render_table()
+            .contains("cancellation 55 polls / 2 deadline hits"));
     }
 
     #[test]

@@ -336,6 +336,105 @@ fn sweep_agrees_with_oracle_on_field_sweep_corpus() {
     }
 }
 
+// --- Degraded-schedule seeds -----------------------------------------------
+//
+// The anytime schedulers and the portfolio driver return cut-short results
+// with shapes the search never produces when it runs to completion: PA's
+// all-software fallback has *zero* regions and no reconfigurations, and a
+// cancelled mid-search result can leave a lone hardware prefix with the
+// rest serialized onto cores. Both checkers must handle these shapes — and
+// every single-field corruption of them — identically.
+
+/// PA's anytime fallback shape: no regions, no reconfigurations, every
+/// task serialized onto core 0 in precedence order.
+fn degraded_all_software_fixture() -> (ProblemInstance, Schedule) {
+    let (inst, _) = fixture();
+    let sw = |name: &str| {
+        inst.impls
+            .iter()
+            .find(|(_, im)| im.name == name)
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let slot = |name: &str, start: u64, end: u64| TaskAssignment {
+        impl_id: sw(name),
+        placement: Placement::Core(0),
+        start,
+        end,
+    };
+    let schedule = Schedule {
+        regions: vec![],
+        assignments: vec![
+            slot("a_sw", 0, 100),
+            slot("b_sw", 100, 200),
+            slot("c_sw", 200, 208),
+            slot("d_sw", 208, 216),
+            slot("e_sw", 216, 316),
+        ],
+        reconfigurations: vec![],
+    };
+    (inst, schedule)
+}
+
+/// A cancelled mid-search shape: the first task kept on its hardware
+/// implementation (initially-loaded region, so no reconfiguration record),
+/// everything after the cut serialized in software.
+fn degraded_prefix_hw_fixture() -> (ProblemInstance, Schedule) {
+    let (inst, base) = fixture();
+    let sw = |name: &str| {
+        inst.impls
+            .iter()
+            .find(|(_, im)| im.name == name)
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let slot = |name: &str, start: u64, end: u64| TaskAssignment {
+        impl_id: sw(name),
+        placement: Placement::Core(0),
+        start,
+        end,
+    };
+    let schedule = Schedule {
+        regions: vec![base.regions[0].clone()],
+        assignments: vec![
+            base.assignments[A.index()], // hw, region 0, [0, 10)
+            slot("b_sw", 10, 110),
+            slot("c_sw", 110, 118),
+            slot("d_sw", 118, 126),
+            slot("e_sw", 126, 226),
+        ],
+        reconfigurations: vec![],
+    };
+    (inst, schedule)
+}
+
+#[test]
+fn degraded_seed_fixtures_are_valid() {
+    let (inst, s) = degraded_all_software_fixture();
+    assert_eq!(validate(&inst, &s), Ok(()));
+    let (inst, s) = degraded_prefix_hw_fixture();
+    assert_eq!(validate(&inst, &s), Ok(()));
+}
+
+/// The full single-field corpus over both degraded seeds: the checkers
+/// agree on every mutant, including region references into an empty or
+/// shortened region table.
+#[test]
+fn sweep_agrees_with_oracle_on_degraded_seeds() {
+    for (name, (inst, base)) in [
+        ("all_software", degraded_all_software_fixture()),
+        ("prefix_hw", degraded_prefix_hw_fixture()),
+    ] {
+        let corpus = field_sweep_corpus(&base);
+        assert!(corpus.len() > 50, "{name}: corpus unexpectedly small");
+        for (i, mutant) in corpus.iter().enumerate() {
+            let oracle = validate_schedule(&inst, mutant);
+            let sweep = validate_schedule_sweep(&inst, mutant);
+            assert_eq!(oracle, sweep, "checkers disagree on {name} mutant #{i}");
+        }
+    }
+}
+
 /// Second-order corpus: every *pair* of single-field mutations, composed
 /// (~2·10⁴ double mutants). Quadratic in the corpus size, so release
 /// builds only.

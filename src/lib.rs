@@ -21,6 +21,8 @@
 //!   and the randomized PA-R variant;
 //! * [`baseline`] — the IS-k iterative exact scheduler (paper ref. \[6\]) and
 //!   a HEFT-style list scheduler for comparison;
+//! * [`portfolio`] — a deadline-aware driver racing PA, PA-R and IS-k under
+//!   one cooperative cancellation token, with anytime (degraded) results;
 //! * [`sim`] — an independent schedule validator, discrete-event executor
 //!   and ASCII Gantt renderer;
 //! * [`gen`] — the seeded synthetic benchmark-suite generator reproducing
@@ -61,6 +63,7 @@ pub use prfpga_dag as dag;
 pub use prfpga_floorplan as floorplan;
 pub use prfpga_gen as gen;
 pub use prfpga_model as model;
+pub use prfpga_portfolio as portfolio;
 pub use prfpga_sched as sched;
 pub use prfpga_sim as sim;
 pub use prfpga_timeline as timeline;
@@ -74,8 +77,10 @@ pub mod prelude {
         ProblemInstance, Reconfiguration, Region, RegionId, ResourceKind, ResourceVec, Schedule,
         TaskGraph, TaskId, Time, TimeWindow,
     };
+    pub use prfpga_portfolio::{Member, Portfolio, PortfolioConfig};
     pub use prfpga_sched::{
-        CostPolicy, OrderingPolicy, PaRScheduler, PaScheduler, SchedulerConfig,
+        Budget, CancelToken, CostPolicy, FakeClock, OrderingPolicy, PaRScheduler, PaScheduler,
+        SchedulerConfig,
     };
     pub use prfpga_sim::{validate_schedule, validate_schedule_sweep};
 }

@@ -141,6 +141,96 @@ fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
     }
 }
 
+/// The cooperative-cancellation plumbing is inert without a deadline:
+/// scheduling through a never-firing [`CancelToken`] must be byte-identical
+/// to the plain entry points — schedules, restart/iteration counts and
+/// convergence traces — and a single-member portfolio must reproduce the
+/// standalone scheduler exactly. (Wall-clock durations in the traces are
+/// excluded; they are the only legitimately nondeterministic fields.)
+#[test]
+fn cancellation_plumbing_is_inert_without_a_deadline() {
+    use prfpga::portfolio::{Member, Portfolio, PortfolioConfig};
+
+    let pa = PaScheduler::new(SchedulerConfig::default());
+    let par_cfg = SchedulerConfig {
+        max_iterations: 4,
+        time_budget: std::time::Duration::from_secs(120),
+        ..Default::default()
+    };
+    let par = PaRScheduler::new(par_cfg.clone());
+
+    for group in groups() {
+        for inst in &group {
+            let plain = pa.schedule_detailed(inst).unwrap();
+            let never = pa
+                .schedule_with_cancel(inst, &CancelToken::never())
+                .unwrap();
+            assert_eq!(
+                plain.schedule, never.schedule,
+                "PA schedule on {}",
+                inst.name
+            );
+            assert_eq!(
+                plain.attempts, never.attempts,
+                "PA attempts on {}",
+                inst.name
+            );
+            assert!(!never.degraded, "PA degraded on {}", inst.name);
+            // Poll *counts* are compared only under a pinned floorplanner
+            // config (see crates/sched/tests/cancellation_sweep.rs): with
+            // the default 250 ms solver time limit the number of search
+            // nodes — and hence stride polls — is wall-clock-dependent.
+            assert!(never.trace.cancel_polls > 0, "PA polled on {}", inst.name);
+            assert_eq!(never.trace.deadline_hits, 0, "PA hits on {}", inst.name);
+
+            let plain = par.schedule_detailed(inst).unwrap();
+            let never = par
+                .schedule_with_cancel(inst, &CancelToken::never())
+                .unwrap();
+            assert_eq!(
+                plain.schedule, never.schedule,
+                "PA-R schedule on {}",
+                inst.name
+            );
+            assert_eq!(
+                plain.iterations, never.iterations,
+                "PA-R iterations on {}",
+                inst.name
+            );
+            assert!(!never.degraded, "PA-R degraded on {}", inst.name);
+            assert_eq!(never.deadline_hits, 0, "PA-R hits on {}", inst.name);
+            let points = |r: &PaRResult| -> Vec<(usize, Time)> {
+                r.trace.iter().map(|p| (p.iteration, p.makespan)).collect()
+            };
+            assert_eq!(
+                points(&plain),
+                points(&never),
+                "PA-R convergence on {}",
+                inst.name
+            );
+
+            // A deadline-free single-member portfolio is just that member.
+            let r = Portfolio::new(PortfolioConfig {
+                members: vec![Member::PaR],
+                sched: par_cfg.clone(),
+                ..Default::default()
+            })
+            .run(inst)
+            .unwrap();
+            assert_eq!(
+                r.schedule, plain.schedule,
+                "portfolio PA-R on {}",
+                inst.name
+            );
+            assert!(
+                !r.degraded && !r.deadline_hit,
+                "portfolio flags on {}",
+                inst.name
+            );
+        }
+    }
+}
+
 /// PA-R vs PA over the same suite, aggregate with the repo's 1.02x noise
 /// tolerance.
 ///

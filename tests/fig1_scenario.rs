@@ -120,3 +120,49 @@ fn time_only_cost_policy_reproduces_the_greedy_trap() {
         full.makespan()
     );
 }
+
+/// HEFT on the same scenario, pinned: the upward-rank list scheduler has
+/// no resource-efficiency notion, so it takes the Figure-1 bait — the
+/// fast/huge `t1_fast` variant fills the fabric with one 800-CLB region
+/// and t2/t3 must then be *serialized* through it with a reconfiguration
+/// before each. The pinned numbers double as the only dedicated HEFT
+/// fixture coverage: any behavioural drift in heft.rs shows up here first.
+#[test]
+fn heft_takes_the_greedy_trap_and_is_pinned() {
+    let (inst, fast, _eff) = figure1();
+    let s = HeftScheduler::new().schedule(&inst).unwrap();
+    validate_schedule(&inst, &s).expect("valid");
+    validate_schedule_sweep(&inst, &s).expect("sweep-valid");
+
+    // Greedy implementation choice and the resulting single huge region.
+    assert_eq!(s.assignment(TaskId(0)).impl_id, fast);
+    assert_eq!(s.regions.len(), 1);
+    assert_eq!(s.regions[0].res, ResourceVec::new(800, 80, 80));
+
+    // t1 runs immediately; t2 and t3 each wait for a reconfiguration of
+    // the single region, so they cannot overlap (contrast with PA, where
+    // the efficient variant lets them run in parallel).
+    assert_eq!(
+        (s.assignment(TaskId(0)).start, s.assignment(TaskId(0)).end),
+        (0, 1000)
+    );
+    let a2 = s.assignment(TaskId(1));
+    let a3 = s.assignment(TaskId(2));
+    assert!(
+        a2.end <= a3.start || a3.end <= a2.start,
+        "t2 {a2:?} and t3 {a3:?} must be serialized through the one region"
+    );
+    assert_eq!(s.reconfigurations.len(), 2);
+    assert_eq!(s.makespan(), 7120);
+
+    // And the head-to-head that motivates the paper: PA beats HEFT here.
+    let pa = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst)
+        .unwrap();
+    assert!(
+        pa.makespan() < s.makespan(),
+        "PA ({}) must beat HEFT ({}) on Figure 1",
+        pa.makespan(),
+        s.makespan()
+    );
+}
