@@ -31,4 +31,8 @@ pub mod scale;
 pub use exec::{parallel_map, ExecPolicy};
 pub use report::{improvement_pct, mean, phase_trace_section, sample_std, GroupSummary};
 pub use runners::{run_heft, run_isk, run_pa, run_par_iters, run_par_timed, InstanceResult};
-pub use scale::{Scale, ScaleConfig};
+pub use scale::{
+    check_throughput_regression, measure_scaling_entry, peak_rss_kb, reach_microbench,
+    scaling_instances, warmup_run, PhaseMs, ReachBench, Scale, ScaleConfig, ScalingEntry,
+    ScalingReport, ScalingStudyConfig,
+};

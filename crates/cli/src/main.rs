@@ -18,7 +18,7 @@ use prfpga_gen::{GraphConfig, TaskGraphGenerator, Topology};
 use prfpga_model::{Architecture, Device, ProblemInstance, Schedule};
 use prfpga_portfolio::{Portfolio, PortfolioConfig};
 use prfpga_sched::{CancelToken, PaRScheduler, PaScheduler, SchedulerConfig};
-use prfpga_sim::{render_gantt, schedule_stats, validate_schedule};
+use prfpga_sim::{render_gantt, schedule_stats, validate_schedule_sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +53,9 @@ const USAGE: &str = "usage:
                   [--serial]              (force single-threaded PA-R)
                   [--no-workspace-reuse]  (fresh buffers per pipeline run;
                                            byte-identical, slower)
+                  [--no-csr]              (adjacency+DFS graph paths instead
+                                           of CSR/bitset; byte-identical,
+                                           slower at 10k+ tasks)
   prfpga validate --input <file.json> --schedule <schedule.json>
   prfpga devices";
 
@@ -194,6 +197,8 @@ fn schedule(args: &[String]) -> Result<(), String> {
     // Escape hatch for the warm-workspace fast path; schedules are
     // byte-identical either way, only throughput differs.
     let workspace_reuse = !has(args, "--no-workspace-reuse");
+    // Likewise for the CSR/bitset graph fast paths.
+    let csr_paths = !has(args, "--no-csr");
     // One cooperative token for the whole run; `--deadline-ms` arms it,
     // otherwise it never fires and behaviour is byte-identical to the
     // deadline-free paths.
@@ -209,6 +214,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
         "pa" => {
             let r = PaScheduler::new(SchedulerConfig {
                 workspace_reuse,
+                csr_paths,
                 ..Default::default()
             })
             .schedule_with_cancel(&inst, &cancel)
@@ -223,6 +229,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
             let par = PaRScheduler::new(SchedulerConfig {
                 time_budget: Duration::from_millis(budget_ms),
                 workspace_reuse,
+                csr_paths,
                 ..Default::default()
             });
             if threads > 1 {
@@ -258,6 +265,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
                 sched: SchedulerConfig {
                     time_budget: Duration::from_millis(budget_ms),
                     workspace_reuse,
+                    csr_paths,
                     ..Default::default()
                 },
                 ..Default::default()
@@ -286,7 +294,10 @@ fn schedule(args: &[String]) -> Result<(), String> {
         println!("note: deadline fired mid-search; returning the best schedule found so far");
     }
 
-    validate_schedule(&inst, &sched).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    // Sweep-line validator: same verdicts as the quadratic oracle (the
+    // mutation corpus pins the equivalence), usable at 10k+ tasks.
+    validate_schedule_sweep(&inst, &sched)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
     let stats = schedule_stats(&inst, &sched);
     println!(
         "{algo}: makespan {} ticks in {:.3}s | {} regions, {} hw / {} sw tasks, {} reconfigurations ({} ticks on the controller)",
@@ -323,7 +334,7 @@ fn validate(args: &[String]) -> Result<(), String> {
     let inst = ProblemInstance::load(&input).map_err(|e| e.to_string())?;
     let json = std::fs::read_to_string(&schedule_path).map_err(|e| e.to_string())?;
     let sched: Schedule = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-    match validate_schedule(&inst, &sched) {
+    match validate_schedule_sweep(&inst, &sched) {
         Ok(()) => {
             println!("schedule is VALID (makespan {} ticks)", sched.makespan());
             Ok(())

@@ -1,0 +1,288 @@
+//! Frozen CSR (compressed sparse row) view of a [`Dag`].
+//!
+//! The schedulers' read-mostly hot paths — the initial CPM pass, level
+//! computation, reachability-index construction — iterate adjacency for
+//! every node of the graph. At 10k–100k tasks the `Vec<Vec<NodeId>>`
+//! layout of [`Dag`] pays one pointer chase (and one potential cache miss)
+//! per node; a CSR view packs all adjacency into two flat arrays per
+//! direction and carries the topological order (and per-node positions)
+//! computed once, so consumers stop re-running Kahn's algorithm per query.
+//!
+//! The view is *frozen*: it snapshots the graph at [`CsrView::build`] time
+//! and records the graph's structure [version](Dag::version). The
+//! journaled adjacency `Dag` remains the single mutable source of truth —
+//! after any mutation the view is stale ([`CsrView::is_current`] turns
+//! false) and must be rebuilt, or revalidated with
+//! [`CsrView::assume_current`] when the caller knows a rollback restored
+//! exactly the content the view was built from (the scheduler workspace's
+//! per-run rewind).
+
+use std::fmt;
+
+use crate::graph::{Dag, NodeId, TopoScratch};
+
+/// Read-only adjacency access shared by [`Dag`] and [`CsrView`], so the
+/// CPM passes and level computation run unchanged over either layout.
+pub trait GraphRead {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Direct predecessors of `v`.
+    fn preds_of(&self, v: NodeId) -> &[NodeId];
+    /// Direct successors of `v`.
+    fn succs_of(&self, v: NodeId) -> &[NodeId];
+}
+
+impl GraphRead for Dag {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn preds_of(&self, v: NodeId) -> &[NodeId] {
+        self.preds(v)
+    }
+    #[inline]
+    fn succs_of(&self, v: NodeId) -> &[NodeId] {
+        self.succs(v)
+    }
+}
+
+/// Struct-of-arrays snapshot of a [`Dag`]: packed predecessor/successor
+/// adjacency plus the cached deterministic topological order and per-node
+/// topological positions.
+///
+/// Building is `O(V + E)` and allocation-free once the buffers are warm;
+/// the adjacency slices preserve the `Dag`'s per-node edge order, so any
+/// pass iterating the view is byte-identical to the same pass over the
+/// `Dag`.
+#[derive(Clone, Default)]
+pub struct CsrView {
+    n: usize,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<NodeId>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<NodeId>,
+    topo: Vec<NodeId>,
+    pos: Vec<u32>,
+    /// [`Dag::version`] the view was built against; 0 = never built.
+    version: u64,
+    topo_scratch: TopoScratch,
+}
+
+impl CsrView {
+    /// An empty view; sized by the first [`CsrView::build`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the snapshot has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Structure version the view matches; 0 when never built.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True when the view still describes `dag` (no mutation since build).
+    #[inline]
+    pub fn is_current(&self, dag: &Dag) -> bool {
+        self.version != 0 && self.version == dag.version()
+    }
+
+    /// (Re)builds the view from `dag`, reusing all buffers.
+    pub fn build(&mut self, dag: &Dag) {
+        let n = dag.len();
+        self.n = n;
+        fill_csr(&mut self.pred_off, &mut self.pred_adj, n, |v| dag.preds(v));
+        fill_csr(&mut self.succ_off, &mut self.succ_adj, n, |v| dag.succs(v));
+        dag.topo_order_into(&mut self.topo_scratch, &mut self.topo);
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        for (i, &v) in self.topo.iter().enumerate() {
+            self.pos[v as usize] = i as u32;
+        }
+        self.version = dag.version();
+    }
+
+    /// Declares the existing snapshot current for `dag` without rebuilding.
+    ///
+    /// Sound only when `dag`'s content equals the graph the view was built
+    /// from — the scheduler workspace uses this after rolling the journaled
+    /// `Dag` back to the base graph the view snapshotted, turning the
+    /// per-run revalidation into a version stamp instead of an `O(V + E)`
+    /// rebuild. Debug builds verify the adjacency actually matches.
+    pub fn assume_current(&mut self, dag: &Dag) {
+        debug_assert!(self.matches(dag), "assume_current on mismatched content");
+        self.version = dag.version();
+    }
+
+    /// True when the snapshot's adjacency equals `dag`'s (content compare).
+    pub fn matches(&self, dag: &Dag) -> bool {
+        self.version != 0
+            && self.n == dag.len()
+            && (0..self.n as NodeId).all(|v| self.preds(v) == dag.preds(v))
+            && (0..self.n as NodeId).all(|v| self.succs(v) == dag.succs(v))
+    }
+
+    /// Cached topological order (Kahn, smallest-id-first — identical to
+    /// [`Dag::topo_order`]).
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Topological position of `v` in [`CsrView::topo_order`].
+    #[inline]
+    pub fn pos(&self, v: NodeId) -> u32 {
+        self.pos[v as usize]
+    }
+
+    /// Per-node topological positions, indexed by node id.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// Direct predecessors of `v` in the snapshot.
+    #[inline]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = (self.pred_off[v as usize], self.pred_off[v as usize + 1]);
+        &self.pred_adj[a as usize..b as usize]
+    }
+
+    /// Direct successors of `v` in the snapshot.
+    #[inline]
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = (self.succ_off[v as usize], self.succ_off[v as usize + 1]);
+        &self.succ_adj[a as usize..b as usize]
+    }
+}
+
+impl GraphRead for CsrView {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn preds_of(&self, v: NodeId) -> &[NodeId] {
+        self.preds(v)
+    }
+    #[inline]
+    fn succs_of(&self, v: NodeId) -> &[NodeId] {
+        self.succs(v)
+    }
+}
+
+impl fmt::Debug for CsrView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrView")
+            .field("nodes", &self.n)
+            .field("edges", &self.succ_adj.len())
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+/// Packs per-node adjacency lists into (offsets, flat array), preserving
+/// per-node order.
+fn fill_csr<'a>(
+    off: &mut Vec<u32>,
+    adj: &mut Vec<NodeId>,
+    n: usize,
+    of: impl Fn(NodeId) -> &'a [NodeId],
+) {
+    off.clear();
+    off.reserve(n + 1);
+    adj.clear();
+    off.push(0);
+    for v in 0..n as NodeId {
+        adj.extend_from_slice(of(v));
+        off.push(adj.len() as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut d = Dag::with_nodes(4);
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        d
+    }
+
+    #[test]
+    fn snapshot_matches_dag() {
+        let d = diamond();
+        let mut view = CsrView::new();
+        view.build(&d);
+        assert_eq!(view.len(), 4);
+        assert!(view.is_current(&d));
+        for v in 0..4 {
+            assert_eq!(view.preds(v), d.preds(v), "preds of {v}");
+            assert_eq!(view.succs(v), d.succs(v), "succs of {v}");
+        }
+        assert_eq!(view.topo_order(), &d.topo_order()[..]);
+        for (i, &v) in view.topo_order().iter().enumerate() {
+            assert_eq!(view.pos(v) as usize, i);
+        }
+    }
+
+    #[test]
+    fn staleness_after_mutation_and_rebuild() {
+        let mut d = diamond();
+        let mut view = CsrView::new();
+        view.build(&d);
+        d.add_edge(0, 3).unwrap();
+        assert!(!view.is_current(&d), "mutation invalidates the view");
+        view.build(&d);
+        assert!(view.is_current(&d));
+        assert_eq!(view.succs(0), d.succs(0));
+    }
+
+    #[test]
+    fn assume_current_after_rollback() {
+        let mut d = diamond();
+        let cp = d.checkpoint();
+        let mut view = CsrView::new();
+        view.build(&d);
+        d.add_edge(0, 3).unwrap();
+        d.rollback(cp);
+        // Content equals the snapshot again, but the version moved.
+        assert!(!view.is_current(&d));
+        assert!(view.matches(&d));
+        view.assume_current(&d);
+        assert!(view.is_current(&d));
+    }
+
+    #[test]
+    fn reuse_across_sizes() {
+        let mut view = CsrView::new();
+        view.build(&diamond());
+        let mut chain = Dag::with_nodes(6);
+        for i in 0..5 {
+            chain.add_edge(i, i + 1).unwrap();
+        }
+        view.build(&chain);
+        assert_eq!(view.len(), 6);
+        assert_eq!(view.topo_order(), &chain.topo_order()[..]);
+        assert_eq!(view.succs(2), chain.succs(2));
+        // Empty graph degenerates cleanly.
+        view.build(&Dag::with_nodes(0));
+        assert!(view.is_empty());
+        assert!(view.topo_order().is_empty());
+    }
+}

@@ -2,10 +2,45 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use prfpga_model::{TaskGraph, TaskId};
+
+/// Globally-unique structure-version source. Every mutation of any [`Dag`]
+/// draws a fresh value, so derived read-only structures ([`crate::CsrView`],
+/// [`crate::ReachIndex`]) can detect staleness by a single integer compare —
+/// soundly even across rollback/re-insert sequences that restore identical
+/// node and edge counts, and across distinct `Dag` instances.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// In-memory structure version of one [`Dag`].
+///
+/// Serialization stores a placeholder `0` and deserialization always draws
+/// a fresh globally-unique value: a persisted version number could collide
+/// with a live graph's version in a later process, which would let a stale
+/// derived structure pass its currency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StructVersion(u64);
+
+impl StructVersion {
+    fn fresh() -> Self {
+        StructVersion(NEXT_VERSION.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Serialize for StructVersion {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Number(serde::value::Number::from_u64(0))
+    }
+}
+
+impl Deserialize for StructVersion {
+    fn from_value(_: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(StructVersion::fresh())
+    }
+}
 
 /// Reusable buffers for [`Dag::topo_order_into`].
 #[derive(Debug, Clone, Default)]
@@ -50,7 +85,7 @@ pub struct DagCheckpoint {
 ///
 /// Duplicate edges are silently ignored: the schedulers freely re-insert
 /// sequencing arcs that may already exist as data dependencies.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct Dag {
     preds: Vec<Vec<NodeId>>,
     succs: Vec<Vec<NodeId>>,
@@ -59,6 +94,30 @@ pub struct Dag {
     /// unwinds its tail; duplicate insertions never journal.
     #[serde(default)]
     journal: Vec<(NodeId, NodeId)>,
+    /// Structure version: refreshed from the global counter on every
+    /// mutation (including rollback). Not part of equality and
+    /// round-trips as a fresh value — it identifies a momentary in-memory
+    /// structure, not graph content.
+    #[serde(default = "StructVersion::fresh")]
+    version: StructVersion,
+}
+
+/// Equality is over graph content (adjacency, counts, journal); the
+/// in-memory structure version is deliberately excluded so a rolled-back
+/// graph compares equal to a freshly built one.
+impl PartialEq for Dag {
+    fn eq(&self, other: &Self) -> bool {
+        self.preds == other.preds
+            && self.succs == other.succs
+            && self.edge_count == other.edge_count
+            && self.journal == other.journal
+    }
+}
+
+impl Default for Dag {
+    fn default() -> Self {
+        Dag::with_nodes(0)
+    }
 }
 
 impl Dag {
@@ -69,6 +128,7 @@ impl Dag {
             succs: vec![Vec::new(); n],
             edge_count: 0,
             journal: Vec::new(),
+            version: StructVersion::fresh(),
         }
     }
 
@@ -101,12 +161,21 @@ impl Dag {
         self.edge_count
     }
 
+    /// Structure version of this graph. Refreshed (to a globally unique
+    /// value) by every mutation; derived read-only structures record the
+    /// version they were built against and compare it to decide currency.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.0
+    }
+
     /// Appends a fresh isolated node and returns its id. Used by schedulers
     /// that model reconfigurations as extra nodes.
     pub fn add_node(&mut self) -> NodeId {
         let id = self.preds.len() as NodeId;
         self.preds.push(Vec::new());
         self.succs.push(Vec::new());
+        self.version = StructVersion::fresh();
         id
     }
 
@@ -144,11 +213,20 @@ impl Dag {
         if crate::reach::is_reachable(self, to, from) {
             return Err(CycleError { from, to });
         }
+        self.insert_edge_acyclic(from, to);
+        Ok(())
+    }
+
+    /// Journaled insertion of an edge the caller has proven acyclic and
+    /// non-duplicate. Shared by [`Dag::add_edge`] (after its DFS probe) and
+    /// the index-accelerated insertion of
+    /// [`ReachIndex::add_edge`](crate::ReachIndex::add_edge).
+    pub(crate) fn insert_edge_acyclic(&mut self, from: NodeId, to: NodeId) {
         self.succs[from as usize].push(to);
         self.preds[to as usize].push(from);
         self.edge_count += 1;
         self.journal.push((from, to));
-        Ok(())
+        self.version = StructVersion::fresh();
     }
 
     /// Snapshot of the current node and edge counts, for [`Dag::rollback`].
@@ -173,6 +251,9 @@ impl Dag {
             cp.nodes <= self.len() && cp.edges <= self.journal.len(),
             "checkpoint does not describe a prefix of this graph"
         );
+        if cp.nodes < self.len() || cp.edges < self.journal.len() {
+            self.version = StructVersion::fresh();
+        }
         while self.journal.len() > cp.edges {
             let (from, to) = self.journal.pop().expect("journal length checked");
             // Insertion appended to both adjacency lists, and we unwind in
@@ -402,6 +483,36 @@ mod tests {
         let fresh = Dag::from_taskgraph(&g).unwrap();
         assert_eq!(d, fresh);
         assert_eq!(d.topo_order(), fresh.topo_order());
+    }
+
+    #[test]
+    fn version_tracks_structural_mutations_only() {
+        let mut d = diamond();
+        let v0 = d.version();
+        d.add_edge(0, 1).unwrap(); // duplicate: structure untouched
+        assert_eq!(d.version(), v0);
+        assert!(d.add_edge(3, 0).is_err()); // rejected: structure untouched
+        assert_eq!(d.version(), v0);
+        let cp = d.checkpoint();
+        d.rollback(cp); // nothing to unwind
+        assert_eq!(d.version(), v0);
+
+        d.add_edge(0, 3).unwrap();
+        let v1 = d.version();
+        assert_ne!(v1, v0);
+        d.rollback(cp);
+        assert_ne!(d.version(), v1, "rollback refreshes the version");
+        assert_ne!(
+            d.version(),
+            v0,
+            "restored content must not resurrect the old version"
+        );
+        assert_eq!(d, diamond(), "equality ignores the version");
+        assert_ne!(
+            Dag::with_nodes(2).version(),
+            Dag::with_nodes(2).version(),
+            "versions are globally unique across instances"
+        );
     }
 
     #[test]

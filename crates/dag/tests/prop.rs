@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use prfpga_dag::{CpmAnalysis, CpmScratch, Dag};
+use prfpga_dag::{reach, CpmAnalysis, CpmScratch, CsrView, Dag, ReachIndex};
 use prfpga_model::Time;
 
 /// Strategy: a random DAG on `n` nodes where edges only go from lower to
@@ -117,6 +117,79 @@ proptest! {
                 cpm.apply_duration(&dag, &durs, a as u32, &mut scratch);
             }
             prop_assert_eq!(&cpm, &CpmAnalysis::run(&dag, &durs), "step {}", step);
+        }
+    }
+
+    /// The CSR + bitset-closure fast paths agree with the journaled
+    /// adjacency + DFS oracle under a random interleaving of edge
+    /// insertions, checkpoint marks, rollbacks, and re-syncs — the exact
+    /// life cycle the schedulers put the fast-graph structures through
+    /// (insert sequencing arcs, roll back a rejected placement, re-sync on
+    /// the next `from_workspace`).
+    #[test]
+    fn csr_and_closure_match_adjacency_dfs_through_rollback(
+        (dag0, _durs) in random_dag(),
+        ops in proptest::collection::vec((0usize..40, 0usize..40, 0u8..8), 1..30),
+    ) {
+        let mut dag = dag0.clone();   // driven through ReachIndex::add_edge
+        let mut mirror = dag0;        // plain adjacency + DFS oracle
+        let n = dag.len();
+        let mut csr = CsrView::new();
+        csr.build(&dag);
+        let mut index = ReachIndex::new();
+        index.sync(&dag, csr.topo_order());
+        let mut marks = Vec::new();
+        for (a, b, kind) in ops {
+            let (a, b) = ((a % n) as u32, (b % n) as u32);
+            match kind {
+                // Edge insertion: through the maintained closure when it is
+                // current (the schedulers' fast path), plain otherwise.
+                0..=3 => {
+                    let fast = if index.is_current(&dag) {
+                        index.add_edge(&mut dag, a, b)
+                    } else {
+                        dag.add_edge(a, b)
+                    };
+                    let oracle = mirror.add_edge(a, b);
+                    prop_assert_eq!(fast.is_ok(), oracle.is_ok());
+                }
+                // Journal mark / rollback (LIFO, as the schedulers nest them).
+                4 => marks.push((dag.checkpoint(), mirror.checkpoint())),
+                5 => {
+                    if let Some((cd, cm)) = marks.pop() {
+                        dag.rollback(cd);
+                        mirror.rollback(cm);
+                    }
+                }
+                // Re-sync, as `SchedState::from_workspace` does per run.
+                _ => {
+                    csr.build(&dag);
+                    index.sync(&dag, csr.topo_order());
+                }
+            }
+            // Both graphs evolved identically regardless of insertion path.
+            prop_assert_eq!(&dag, &mirror);
+            // A current closure answers exactly like the DFS for the mutated
+            // pair and a strided sample; a stale one must say so.
+            if index.is_current(&dag) {
+                for i in 0..16u32 {
+                    let (u, v) = ((a + i) % n as u32, (b + i * 7) % n as u32);
+                    prop_assert_eq!(index.query(u, v), reach::is_reachable(&dag, u, v));
+                }
+            }
+        }
+        // Final all-pairs sweep against a freshly synced closure and CSR.
+        csr.build(&dag);
+        index.sync(&dag, csr.topo_order());
+        for v in 0..n as u32 {
+            prop_assert_eq!(csr.succs(v), mirror.succs(v));
+            prop_assert_eq!(csr.preds(v), mirror.preds(v));
+            for u in 0..n as u32 {
+                prop_assert_eq!(index.query(v, u), reach::is_reachable(&mirror, v, u));
+            }
+        }
+        for w in csr.topo_order().windows(2) {
+            prop_assert!(csr.pos(w[0]) < csr.pos(w[1]));
         }
     }
 

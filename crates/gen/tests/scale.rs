@@ -1,0 +1,66 @@
+//! Large-instance generator coverage: the scaling studies
+//! (`crates/bench/src/scale.rs`) lean on the generator staying
+//! deterministic and structurally sane three orders of magnitude above the
+//! paper's 100-task ceiling. These tests pin the 10k-task corpus shape and
+//! the JSON round-trip the study fixtures depend on.
+
+use prfpga_gen::{instance_stats, GraphConfig, TaskGraphGenerator};
+use prfpga_model::{Architecture, ProblemInstance};
+
+/// Seed shared with the scaling study corpus (`bench::scale::SCALING_SEED`).
+const SCALING_SEED: u64 = 0x5CA_1E06;
+
+#[test]
+fn seeded_10k_generation_is_pinned_and_plausible() {
+    let inst = TaskGraphGenerator::new(SCALING_SEED).generate(
+        "scale_10000_0",
+        &GraphConfig::standard(10_000),
+        Architecture::zedboard_pr(),
+    );
+    let st = instance_stats(&inst);
+    // Exact corpus shape: a drifting generator would silently invalidate
+    // every cross-PR BENCH_scaling.json comparison.
+    assert_eq!(st.tasks, 10_000);
+    assert_eq!(
+        st.edges, 14_996,
+        "edge count drifted for seed {SCALING_SEED:#x}"
+    );
+    // Topology invariants at scale: layered graphs connect every
+    // non-source, stay strictly between a chain and a single antichain,
+    // and keep the implementation envelope the schedulers assume.
+    assert!(st.edges >= st.tasks - 1);
+    assert!(st.depth > 1 && st.depth < st.tasks);
+    assert!(st.max_parallelism >= 2);
+    assert!((st.max_parallelism as usize) < st.tasks);
+    assert!(st.avg_parallelism_x100 > 100);
+    assert!(st.mean_sw_time > 0 && st.mean_hw_time > 0);
+    assert!(
+        st.sw_slowdown_x100 >= 300 && st.sw_slowdown_x100 <= 700,
+        "software slowdown within the generator's envelope, got {}",
+        st.sw_slowdown_x100
+    );
+    assert!(st.shared_impl_tasks >= 2, "15% share rate over 10k tasks");
+}
+
+#[test]
+fn large_instance_round_trips_through_json() {
+    // The study corpus is saved/loaded as multi-MB JSON fixtures; the
+    // round-trip must be lossless and fast enough to be practical (the
+    // parser is linear — see shims/serde_json).
+    let inst = TaskGraphGenerator::new(SCALING_SEED).generate(
+        "scale_roundtrip",
+        &GraphConfig::standard(10_000),
+        Architecture::zedboard_pr(),
+    );
+    let json = inst.to_json();
+    assert!(json.len() > 1 << 20, "10k-task instances serialize to MBs");
+    let back = ProblemInstance::from_json(&json).expect("fixture parses and validates");
+    assert_eq!(inst, back);
+    // Determinism across generator invocations (fixture regeneration).
+    let again = TaskGraphGenerator::new(SCALING_SEED).generate(
+        "scale_roundtrip",
+        &GraphConfig::standard(10_000),
+        Architecture::zedboard_pr(),
+    );
+    assert_eq!(inst, again);
+}

@@ -73,6 +73,12 @@ pub struct SchedulerConfig {
     ///
     /// [`SchedWorkspace`]: crate::SchedWorkspace
     pub workspace_reuse: bool,
+    /// Route graph queries through the frozen CSR view and the bitset
+    /// reachability closure — the 10k–100k-task fast paths (initial CPM
+    /// over packed adjacency, `O(1)` reachability probes and cycle checks).
+    /// Schedules are byte-identical either way; the switch keeps the
+    /// adjacency+DFS path testable as the differential baseline.
+    pub csr_paths: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -89,6 +95,7 @@ impl Default for SchedulerConfig {
             seed: 0xAC0_FFEE,
             module_reuse: false,
             workspace_reuse: true,
+            csr_paths: true,
         }
     }
 }

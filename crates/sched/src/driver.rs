@@ -351,8 +351,15 @@ pub(crate) fn do_schedule_in(
 
     // Phase B — critical path extraction (CPM inside the state).
     let t0 = Instant::now();
-    let mut state = SchedState::from_workspace(inst, virtual_device, weights, choice, ws)
-        .expect("instance validated by the driver");
+    let mut state = SchedState::from_workspace_with(
+        inst,
+        virtual_device,
+        weights,
+        choice,
+        ws,
+        config.csr_paths,
+    )
+    .expect("instance validated by the driver");
     observer.phase_finished(Phase::CriticalPath, t0.elapsed());
     state.module_reuse = config.module_reuse;
     state.observer = observer.clone();

@@ -9,7 +9,6 @@
 
 use std::time::Instant;
 
-use prfpga_dag::reach;
 use prfpga_model::{TaskId, TimeWindow};
 
 use crate::config::OrderingPolicy;
@@ -227,12 +226,12 @@ pub(crate) fn region_eligible(
     let pos = state.insertion_pos(s, w_t.min);
     if pos > 0 {
         let prev = region.tasks[pos - 1];
-        if reach::is_reachable(&state.dag, t.0, prev.0) {
+        if state.reachable(t.0, prev.0) {
             return None;
         }
     }
     if let Some(&next) = region.tasks.get(pos) {
-        if reach::is_reachable(&state.dag, next.0, t.0) {
+        if state.reachable(next.0, t.0) {
             return None;
         }
     }

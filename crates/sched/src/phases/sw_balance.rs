@@ -121,12 +121,12 @@ fn hosting_compatible(
     let pos = state.insertion_pos(s, w_min);
     if pos > 0 {
         let prev = state.regions[s].tasks[pos - 1];
-        if prfpga_dag::reach::is_reachable(&state.dag, t.0, prev.0) {
+        if state.reachable(t.0, prev.0) {
             return false;
         }
     }
     if let Some(&next) = state.regions[s].tasks.get(pos) {
-        if prfpga_dag::reach::is_reachable(&state.dag, next.0, t.0) {
+        if state.reachable(next.0, t.0) {
             return false;
         }
     }

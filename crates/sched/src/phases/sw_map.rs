@@ -76,6 +76,12 @@ pub fn map_software_tasks(state: &mut SchedState<'_>) {
             // means the two tasks are dependency-ordered t -> last. In that
             // case skip the arc: the data dependency already serializes
             // them on the core.
+            //
+            // Deliberately NOT `insert_sequencing_arc`: no reachability
+            // probe happens after this phase, so paying the closure's
+            // ancestor-propagation per core-chain arc (~10k arcs on large
+            // graphs) would buy nothing — plain insertion lets the index
+            // go stale instead.
             if state.dag.add_edge(last.0, t.0).is_ok() {
                 arc_added = Some(last);
             }

@@ -4,7 +4,9 @@
 
 use std::mem;
 
-use prfpga_dag::{CpmAnalysis, CpmScratch, Dag, DagCheckpoint};
+use prfpga_dag::{
+    reach, CpmAnalysis, CpmScratch, CsrView, CycleError, Dag, DagCheckpoint, NodeId, ReachIndex,
+};
 use prfpga_model::{Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow};
 use prfpga_timeline::Timeline;
 
@@ -69,6 +71,14 @@ pub struct SchedWorkspace {
     /// (separate from the state's, because `realize_schedule` reads the
     /// state immutably while committing controller reservations).
     pub(crate) reconf_timeline: Timeline,
+    /// Frozen CSR snapshot of the base graph (fast graph path). When a run
+    /// rewinds the DAG to the base the view snapshotted, revalidation is a
+    /// version stamp ([`CsrView::assume_current`]) instead of a rebuild.
+    csr: CsrView,
+    /// True when `csr` snapshots the cached base graph.
+    csr_is_base: bool,
+    /// Bitset reachability closure recycled into the state's probe path.
+    reach: ReachIndex,
     rebuilds: u64,
     reuses: u64,
 }
@@ -119,6 +129,11 @@ impl SchedWorkspace {
                 checkpoint: Some(self.dag.checkpoint()),
             };
             self.base_choice.clear();
+            self.csr_is_base = false;
+            // Re-targeting at a new instance is the natural point to stop
+            // pinning DFS scratch sized for the previous (possibly much
+            // larger) graph.
+            reach::shrink_scratch_to(inst.graph.len());
             self.rebuilds += 1;
         }
         Ok(matches)
@@ -165,6 +180,13 @@ pub struct SchedState<'a> {
     /// point); enabled by the schedulers' workspace-reuse fast path and
     /// off by default so direct phase callers exercise the plain path.
     pub incremental: bool,
+    /// When set, reachability probes go through the bitset closure and
+    /// sequencing-arc insertions through [`ReachIndex::add_edge`] (as long
+    /// as the closure is current — [`SchedState::reachable`] degrades to
+    /// DFS otherwise). Enabled by the schedulers' CSR fast path
+    /// ([`crate::SchedulerConfig::csr_paths`]); off by default so direct
+    /// phase callers exercise the plain adjacency+DFS path.
+    pub fast_graph: bool,
     /// Core-lane reservation kernel: phase F commits every mapped software
     /// task's occupancy here, making per-core drain queries O(1) via
     /// [`Timeline::free_from`] instead of rescanning assigned tasks.
@@ -173,6 +195,8 @@ pub struct SchedState<'a> {
     cpm_scratch: CpmScratch,
     /// Recycled region task lists, fed by the workspace.
     region_pool: Vec<Vec<TaskId>>,
+    /// Bitset reachability closure (see [`SchedState::reachable`]).
+    reach: ReachIndex,
 }
 
 impl<'a> SchedState<'a> {
@@ -201,10 +225,39 @@ impl<'a> SchedState<'a> {
         impl_choice: Vec<ImplId>,
         ws: &mut SchedWorkspace,
     ) -> Result<Self, SchedError> {
+        Self::from_workspace_with(inst, device, weights, impl_choice, ws, false)
+    }
+
+    /// [`SchedState::from_workspace`] with the CSR/bitset fast graph paths
+    /// switchable: when `fast_graph` is set, the initial CPM pass runs over
+    /// the workspace's frozen [`CsrView`] of the base graph and the bitset
+    /// reachability closure is synchronized so in-run probes and
+    /// sequencing-arc insertions are `O(1)` bit tests instead of DFS.
+    /// Results are byte-identical either way — the CSR view preserves
+    /// adjacency order and the closure answers exactly like the DFS.
+    pub fn from_workspace_with(
+        inst: &'a ProblemInstance,
+        device: &'a Device,
+        weights: MetricWeights,
+        impl_choice: Vec<ImplId>,
+        ws: &mut SchedWorkspace,
+        fast_graph: bool,
+    ) -> Result<Self, SchedError> {
         let n = inst.graph.len();
         assert_eq!(impl_choice.len(), n);
         let reused = ws.reset_graph(inst)?;
         let dag = mem::take(&mut ws.dag);
+
+        if fast_graph {
+            if reused && ws.csr_is_base {
+                // The rollback restored exactly the base content the view
+                // snapshotted; revalidation is a version stamp.
+                ws.csr.assume_current(&dag);
+            } else {
+                ws.csr.build(&dag);
+                ws.csr_is_base = true;
+            }
+        }
 
         let mut durations = mem::take(&mut ws.durations);
         durations.clear();
@@ -219,10 +272,22 @@ impl<'a> SchedState<'a> {
             // only removed arcs, which cannot break an order.
             cpm.clone_from(&ws.base_cpm);
         } else {
-            cpm.recompute(&dag, &durations, None, &mut cpm_scratch);
+            if fast_graph {
+                cpm.recompute_csr(&ws.csr, &durations, None, &mut cpm_scratch);
+            } else {
+                cpm.recompute(&dag, &durations, None, &mut cpm_scratch);
+            }
             ws.base_choice.clear();
             ws.base_choice.extend_from_slice(&impl_choice);
             ws.base_cpm.clone_from(&cpm);
+        }
+
+        let mut reach_index = mem::take(&mut ws.reach);
+        if fast_graph && ReachIndex::fits(n) {
+            // Rebuild the closure for this run (the last run's sequencing
+            // arcs invalidated it); beyond the memory ceiling the state
+            // falls back to DFS probes automatically.
+            reach_index.sync(&dag, ws.csr.topo_order());
         }
 
         // Recycle last run's region task lists through the pool.
@@ -258,9 +323,11 @@ impl<'a> SchedState<'a> {
             module_reuse: false,
             observer: ObserverHandle::noop(),
             incremental: false,
+            fast_graph,
             timeline,
             cpm_scratch,
             region_pool,
+            reach: reach_index,
         })
     }
 
@@ -278,6 +345,30 @@ impl<'a> SchedState<'a> {
         ws.core_of = self.core_of;
         ws.region_pool = self.region_pool;
         ws.timeline = self.timeline;
+        ws.reach = self.reach;
+    }
+
+    /// True when `to` is reachable from `from` in the dependency DAG: an
+    /// `O(1)` closure lookup when the fast graph path is on and the closure
+    /// is current, a DFS otherwise. Identical verdicts either way.
+    #[inline]
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if self.fast_graph && self.reach.is_current(&self.dag) {
+            self.reach.query(from, to)
+        } else {
+            reach::is_reachable(&self.dag, from, to)
+        }
+    }
+
+    /// Inserts a sequencing arc, keeping the reachability closure current
+    /// when the fast graph path is on. Accept/reject behaviour is exactly
+    /// [`Dag::add_edge`]'s.
+    pub(crate) fn insert_sequencing_arc(&mut self, u: NodeId, v: NodeId) -> Result<(), CycleError> {
+        if self.fast_graph && self.reach.is_current(&self.dag) {
+            self.reach.add_edge(&mut self.dag, u, v)
+        } else {
+            self.dag.add_edge(u, v)
+        }
     }
 
     /// Window of a task under the current CPM analysis.
@@ -381,8 +472,7 @@ impl<'a> SchedState<'a> {
                 .apply_duration(&self.dag, &self.durations, t.0, &mut self.cpm_scratch);
         }
         if let Some(p) = prev {
-            self.dag
-                .add_edge(p.0, t.0)
+            self.insert_sequencing_arc(p.0, t.0)
                 .expect("caller checked ordering consistency (prev)");
             if self.incremental {
                 self.cpm
@@ -390,8 +480,7 @@ impl<'a> SchedState<'a> {
             }
         }
         if let Some(nx) = next {
-            self.dag
-                .add_edge(t.0, nx.0)
+            self.insert_sequencing_arc(t.0, nx.0)
                 .expect("caller checked ordering consistency (next)");
             if self.incremental {
                 self.cpm
@@ -614,5 +703,77 @@ mod tests {
         }
         assert_eq!(ws.rebuilds(), 3, "every instance switch rebuilds");
         assert_eq!(ws.reuses(), 0);
+    }
+
+    #[test]
+    fn fast_graph_state_matches_plain_state() {
+        // Identical mutations through the CSR/bitset fast paths and the
+        // adjacency+DFS paths must leave identical state — across repeated
+        // workspace reuse, so the `assume_current` re-stamp is exercised.
+        let inst = mk_instance();
+        let device = &inst.architecture.device;
+        let weights = MetricWeights::new(&device.max_res, 30);
+        let mut ws = SchedWorkspace::new();
+        for round in 0..3 {
+            let mut fast = SchedState::from_workspace_with(
+                &inst,
+                device,
+                weights.clone(),
+                all_hw_choice(&inst),
+                &mut ws,
+                true,
+            )
+            .unwrap();
+            assert!(fast.fast_graph);
+            let mut plain = mk_state(&inst);
+            let hw0 = plain.impl_choice[0];
+            let hw2 = plain.impl_choice[2];
+            for st in [&mut plain, &mut fast] {
+                st.open_region(TaskId(2), hw2);
+                st.assign_to_region(TaskId(0), hw0, 0);
+                st.switch_to_sw(TaskId(1));
+            }
+            assert_eq!(fast.dag, plain.dag, "round {round}");
+            assert_eq!(fast.cpm, plain.cpm);
+            assert_eq!(fast.regions[0].tasks, plain.regions[0].tasks);
+            // Probe both directions; the closure was kept current through
+            // the inserted sequencing arcs.
+            for a in 0..3 {
+                for b in 0..3 {
+                    assert_eq!(fast.reachable(a, b), plain.reachable(a, b), "{a}->{b}");
+                }
+            }
+            fast.recycle(&mut ws);
+        }
+        assert_eq!(ws.rebuilds(), 1);
+        assert_eq!(ws.reuses(), 2);
+    }
+
+    #[test]
+    fn instance_switch_shrinks_dfs_scratch() {
+        // Re-targeting the workspace at a smaller instance releases DFS
+        // scratch sized for the larger one (via `reach::shrink_scratch_to`).
+        let mut big = Dag::with_nodes(8192);
+        for i in 0..8191 {
+            big.add_edge(i, i + 1).unwrap();
+        }
+        assert!(reach::is_reachable(&big, 0, 8191));
+        assert!(reach::scratch_capacity() >= 8192);
+        let inst = mk_instance();
+        let weights = MetricWeights::new(&inst.architecture.device.max_res, 30);
+        let mut ws = SchedWorkspace::new();
+        let st = SchedState::from_workspace(
+            &inst,
+            &inst.architecture.device,
+            weights,
+            all_hw_choice(&inst),
+            &mut ws,
+        )
+        .unwrap();
+        st.recycle(&mut ws);
+        assert!(
+            reach::scratch_capacity() <= 4096,
+            "rebuild path must shrink the thread's DFS scratch"
+        );
     }
 }

@@ -289,20 +289,25 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8; find the char boundary).
+                    // Consume the longest run of plain bytes in one step and
+                    // validate it as UTF-8 once. Re-validating the whole
+                    // remaining input per character would make parsing
+                    // quadratic in document size (minutes on multi-MB docs).
                     let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
+                    let mut end = start;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| self.err("unexpected end"))?;
-                    if c.is_control() {
+                    if run.chars().any(|c| c.is_control()) {
                         return Err(self.err("control character in string"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
+                    self.pos = end;
                 }
             }
         }
@@ -411,5 +416,27 @@ mod tests {
         assert_eq!(v.as_str(), Some("\u{1F600}"));
         let lit: Value = from_str(r#""😀""#).unwrap();
         assert_eq!(lit.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // The string scanner consumes plain-byte runs wholesale; a
+        // per-character re-validation of the remaining input regresses
+        // parsing to O(n^2) (minutes for the multi-MB instance files the
+        // scaling study feeds through `ProblemInstance::load`). 4 MB of
+        // string content finishes instantly when linear and blows the
+        // 10-second guard when quadratic.
+        let body = "x".repeat(1 << 20);
+        let doc = format!("[\"{body}\", \"{body}\", \"{body}\", \"{body}\"]");
+        let t0 = std::time::Instant::now();
+        let v: Value = from_str(&doc).unwrap();
+        assert!(t0.elapsed().as_secs() < 10, "string parsing is quadratic");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0].as_str().map(str::len), Some(1 << 20));
+        // Runs still honour escapes, multi-byte chars, and control bytes.
+        let mixed: Value = from_str("\"héllo \\n wörld 😀\"").unwrap();
+        assert_eq!(mixed.as_str(), Some("héllo \n wörld 😀"));
+        assert!(from_str::<Value>("\"bad \u{1} ctrl\"").is_err());
     }
 }

@@ -141,6 +141,65 @@ fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
     }
 }
 
+/// The CSR/bitset fast graph paths (frozen struct-of-arrays view, cached
+/// transitive-closure reachability, closure-maintained sequencing-arc
+/// insertion) are pure optimizations: with `csr_paths` off the schedulers
+/// fall back to journaled-adjacency DFS probes everywhere, and the two
+/// configurations must produce byte-identical schedules, restart counts,
+/// iteration counts and convergence traces across PA, PA-R and IS-1.
+#[test]
+fn csr_fast_paths_are_byte_identical_to_dfs_paths() {
+    let slow_cfg = SchedulerConfig {
+        csr_paths: false,
+        ..Default::default()
+    };
+    let fast_cfg = SchedulerConfig::default();
+    assert!(fast_cfg.csr_paths, "fast graph paths are the default");
+
+    let pa_slow = PaScheduler::new(slow_cfg.clone());
+    let pa_fast = PaScheduler::new(fast_cfg.clone());
+    let par_cfg = |base: &SchedulerConfig| SchedulerConfig {
+        max_iterations: 6,
+        time_budget: std::time::Duration::from_secs(120),
+        ..base.clone()
+    };
+    let par_slow = PaRScheduler::new(par_cfg(&slow_cfg));
+    let par_fast = PaRScheduler::new(par_cfg(&fast_cfg));
+    // IS-1 never reads `SchedulerConfig`, so the flag cannot change its
+    // output directly — but the fast paths do keep process-global state
+    // (the thread-local DFS scratch shrunk on workspace resets). Running
+    // IS-1 interleaved with both PA configurations pins that none of it
+    // leaks across algorithms.
+    let is1_slow = IsKScheduler::new(IsKConfig::is1());
+    let is1_fast = IsKScheduler::new(IsKConfig::is1());
+
+    for group in groups() {
+        for inst in &group {
+            let a = pa_slow.schedule_detailed(inst).unwrap();
+            let b = pa_fast.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA schedule on {}", inst.name);
+            assert_eq!(a.attempts, b.attempts, "PA attempts on {}", inst.name);
+
+            let a = par_slow.schedule_detailed(inst).unwrap();
+            let b = par_fast.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA-R schedule on {}", inst.name);
+            assert_eq!(
+                a.iterations, b.iterations,
+                "PA-R iterations on {}",
+                inst.name
+            );
+            let points = |r: &PaRResult| -> Vec<(usize, Time)> {
+                r.trace.iter().map(|p| (p.iteration, p.makespan)).collect()
+            };
+            assert_eq!(points(&a), points(&b), "PA-R convergence on {}", inst.name);
+
+            let a = is1_slow.schedule(inst).unwrap();
+            let b = is1_fast.schedule(inst).unwrap();
+            assert_eq!(a, b, "IS-1 schedule on {}", inst.name);
+        }
+    }
+}
+
 /// The cooperative-cancellation plumbing is inert without a deadline:
 /// scheduling through a never-firing [`CancelToken`] must be byte-identical
 /// to the plain entry points — schedules, restart/iteration counts and
