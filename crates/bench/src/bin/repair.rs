@@ -1,0 +1,120 @@
+//! Repair-cost-vs-perturbation trajectory: `BENCH_repair.json`.
+//!
+//! Per size, commits a baseline PA schedule, replays standard-mix event
+//! traces of increasing length through the repair engine and reports the
+//! mean per-event repair cost against the full-pipeline re-solve cost.
+//!
+//! ```text
+//! repair [--sizes 1000,10000] [--events 1,8,64]
+//!        [--out BENCH_repair.json] [--check <baseline.json>]
+//!        [--tolerance-pct 20]
+//! ```
+//!
+//! With `--check`, the run exits non-zero when any point's speedup drops
+//! more than the tolerance below the baseline file (CI's repair gate).
+
+use prfpga_bench::report::markdown_table;
+use prfpga_bench::{
+    baseline_with_resolve_us, check_repair_regression, measure_repair_entry, repair_instance,
+    warmup_run, RepairReport,
+};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes: Vec<usize> = flag(&args, "--sizes")
+        .unwrap_or_else(|| "1000,10000".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sizes takes task counts"))
+        .collect();
+    sizes.sort_unstable();
+    let events: Vec<usize> = flag(&args, "--events")
+        .unwrap_or_else(|| "1,8,64".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--events takes counts"))
+        .collect();
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_repair.json".into());
+    let tolerance: f64 = flag(&args, "--tolerance-pct")
+        .map(|v| v.parse().expect("--tolerance-pct takes a percentage"))
+        .unwrap_or(20.0);
+
+    eprintln!("repair study: sizes {sizes:?}, trace lengths {events:?}");
+    // Same rationale as the scaling study: the first PA run of a fresh
+    // process pays page faults and allocator growth.
+    warmup_run();
+
+    let mut entries = Vec::new();
+    for &tasks in &sizes {
+        let inst = repair_instance(tasks);
+        let (baseline, resolve_us) = baseline_with_resolve_us(&inst);
+        eprintln!("  {tasks} tasks: full re-solve {:.0} us", resolve_us);
+        for &k in &events {
+            let entry = measure_repair_entry(&inst, &baseline, resolve_us, k);
+            eprintln!(
+                "    {k:3} events: {:.0} us/event ({:.1}x vs re-solve, {} full re-solves)",
+                entry.repair_us_per_event, entry.speedup, entry.full_resolves
+            );
+            entries.push(entry);
+        }
+    }
+
+    let report = RepairReport {
+        schema: RepairReport::SCHEMA.into(),
+        entries,
+    };
+
+    println!("### Repair cost vs perturbation\n");
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.tasks.to_string(),
+                e.events.to_string(),
+                format!("{:.0}", e.resolve_us),
+                format!("{:.0}", e.repair_us_per_event),
+                format!("{:.1}", e.speedup),
+                e.full_resolves.to_string(),
+                format!("{} -> {}", e.makespan_before, e.makespan_after),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "# tasks",
+                "events",
+                "re-solve us",
+                "repair us/event",
+                "speedup",
+                "full re-solves",
+                "makespan",
+            ],
+            &rows
+        )
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write repair report");
+    eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = flag(&args, "--check") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline: RepairReport =
+            serde_json::from_str(&text).expect("baseline parses as a repair report");
+        match check_repair_regression(&baseline, &report, tolerance) {
+            Ok(()) => eprintln!("repair speedups within {tolerance}% of {baseline_path}"),
+            Err(msg) => {
+                eprintln!("REPAIR REGRESSION vs {baseline_path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

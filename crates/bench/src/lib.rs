@@ -24,11 +24,16 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod repair;
 pub mod report;
 pub mod runners;
 pub mod scale;
 
 pub use exec::{parallel_map, ExecPolicy};
+pub use repair::{
+    baseline_with_resolve_us, check_repair_regression, measure_repair_entry, repair_instance,
+    RepairEntry, RepairReport, REPAIR_SEED,
+};
 pub use report::{improvement_pct, mean, phase_trace_section, sample_std, GroupSummary};
 pub use runners::{run_heft, run_isk, run_pa, run_par_iters, run_par_timed, InstanceResult};
 pub use scale::{

@@ -1,0 +1,235 @@
+//! Repair-cost-vs-perturbation study (`BENCH_repair.json`).
+//!
+//! The point of the repair engine is that reacting to one runtime event
+//! must cost a small fraction of re-running the whole PA pipeline. This
+//! study pins that claim: per size (1k / 10k tasks) it commits a baseline
+//! PA schedule, synthesizes standard-mix event traces of increasing length
+//! (k = 1, 8, 64), replays each through [`RepairEngine`] — pinned to the
+//! delta path, cascade disabled — and reports the mean per-event repair
+//! cost against the full-pipeline re-solve cost on the same machine — the
+//! `speedup` column is the figure the CI gate defends (a drop of more than
+//! the tolerance vs the committed baseline fails the run).
+//!
+//! Every repaired schedule is revalidated with the sweep-line validator
+//! before its numbers are counted.
+
+use std::time::Instant;
+
+use prfpga_gen::{EventConfig, EventTraceGenerator, GraphConfig, TaskGraphGenerator};
+use prfpga_model::{Architecture, ProblemInstance, Schedule};
+use prfpga_sched::{PaScheduler, RepairConfig, RepairEngine, SchedulerConfig};
+use prfpga_sim::validate_schedule_sweep;
+use serde::{Deserialize, Serialize};
+
+/// Seed of the repair corpus (instances and traces are pure functions of
+/// it, so every run replays identical work).
+pub const REPAIR_SEED: u64 = 0x000E_7A11;
+
+/// One `(size, trace length)` measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairEntry {
+    /// Tasks in the instance.
+    pub tasks: usize,
+    /// Events in the replayed trace.
+    pub events: usize,
+    /// Full PA pipeline wall-clock on the instance, microseconds (the
+    /// re-solve an online system would otherwise pay per event).
+    pub resolve_us: f64,
+    /// Mean repair wall-clock per event, microseconds.
+    pub repair_us_per_event: f64,
+    /// `resolve_us / repair_us_per_event` — the study's headline figure.
+    pub speedup: f64,
+    /// Events the engine escalated to a full re-solve (cascade threshold).
+    pub full_resolves: u64,
+    /// Tasks re-timed across the whole trace.
+    pub frontier_tasks: u64,
+    /// Baseline makespan, ticks.
+    pub makespan_before: u64,
+    /// Makespan after the full trace, ticks.
+    pub makespan_after: u64,
+}
+
+/// The persisted repair-cost trajectory (`BENCH_repair.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Format tag for forward compatibility.
+    pub schema: String,
+    /// Per-(size, trace length) measurements.
+    pub entries: Vec<RepairEntry>,
+}
+
+impl RepairReport {
+    /// Schema tag written by this version of the study.
+    pub const SCHEMA: &'static str = "prfpga-repair-v1";
+}
+
+/// Generates the deterministic instance for one size.
+pub fn repair_instance(tasks: usize) -> ProblemInstance {
+    TaskGraphGenerator::new(REPAIR_SEED).generate(
+        &format!("repair_{tasks}"),
+        &GraphConfig::standard(tasks),
+        Architecture::zedboard_pr(),
+    )
+}
+
+/// Commits the baseline PA schedule for `inst`, returning it with the
+/// pipeline's wall-clock in microseconds (the re-solve cost).
+pub fn baseline_with_resolve_us(inst: &ProblemInstance) -> (Schedule, f64) {
+    let scheduler = PaScheduler::new(SchedulerConfig::default());
+    // Median of three runs: the re-solve cost is the denominator of the
+    // headline speedup, so a one-off scheduling hiccup must not skew it.
+    let mut us = [0.0f64; 3];
+    let mut schedule = None;
+    for slot in &mut us {
+        let t0 = Instant::now();
+        let s = scheduler.schedule(inst).expect("generated instance solves");
+        *slot = t0.elapsed().as_secs_f64() * 1e6;
+        schedule = Some(s);
+    }
+    us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (schedule.expect("three runs happened"), us[1])
+}
+
+/// Measures one `(size, events)` point: replays a standard-mix trace of
+/// `events` events against a fresh engine and times the repairs.
+pub fn measure_repair_entry(
+    inst: &ProblemInstance,
+    baseline: &Schedule,
+    resolve_us: f64,
+    events: usize,
+) -> RepairEntry {
+    let trace = EventTraceGenerator::new(REPAIR_SEED ^ events as u64).generate(
+        inst,
+        baseline,
+        &EventConfig::standard(events),
+    );
+    // The engine is pinned to the delta path (cascade disabled): this study
+    // measures the cost of frontier retiming itself, and the cascade
+    // fallback's cost *is* the `resolve_us` column — early events on a deep
+    // DAG invalidate most of the graph, so the default 50% threshold would
+    // turn nearly every measurement into a full re-solve and the speedup
+    // into a tautological 1x.
+    let config = RepairConfig {
+        cascade_threshold_pct: 100,
+        ..RepairConfig::default()
+    };
+    let mut engine = RepairEngine::new(inst.clone(), baseline.clone(), config)
+        .expect("PA baselines satisfy the engine's preconditions");
+
+    let t0 = Instant::now();
+    for ev in &trace.events {
+        engine.apply(ev).expect("generated traces replay cleanly");
+    }
+    let repair_us_total = t0.elapsed().as_secs_f64() * 1e6;
+    validate_schedule_sweep(engine.instance(), engine.schedule())
+        .expect("repaired schedule validates");
+
+    let stats = engine.stats();
+    let per_event = repair_us_total / trace.events.len().max(1) as f64;
+    RepairEntry {
+        tasks: inst.graph.len(),
+        events: trace.events.len(),
+        resolve_us,
+        repair_us_per_event: per_event,
+        speedup: resolve_us / per_event.max(1e-3),
+        full_resolves: stats.full_resolves,
+        frontier_tasks: stats.frontier_tasks,
+        makespan_before: baseline.makespan(),
+        makespan_after: engine.schedule().makespan(),
+    }
+}
+
+/// Compares `current` against `baseline`: an error lists every
+/// `(size, events)` point whose speedup dropped more than `tolerance_pct`
+/// percent. Points present only on one side are ignored.
+pub fn check_repair_regression(
+    baseline: &RepairReport,
+    current: &RepairReport,
+    tolerance_pct: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = current
+            .entries
+            .iter()
+            .find(|e| e.tasks == base.tasks && e.events == base.events)
+        else {
+            continue;
+        };
+        let floor = base.speedup * (1.0 - tolerance_pct / 100.0);
+        if cur.speedup < floor {
+            failures.push(format!(
+                "{} tasks / {} events: speedup {:.1}x < {:.1}x ({}% below baseline {:.1}x)",
+                base.tasks, base.events, cur.speedup, floor, tolerance_pct, base.speedup
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_entry_on_small_instance() {
+        let inst = repair_instance(60);
+        let (baseline, resolve_us) = baseline_with_resolve_us(&inst);
+        let entry = measure_repair_entry(&inst, &baseline, resolve_us, 8);
+        assert_eq!(entry.tasks, 60);
+        assert_eq!(entry.events, 8);
+        assert!(entry.repair_us_per_event > 0.0);
+        assert!(entry.speedup > 0.0);
+    }
+
+    #[test]
+    fn repair_report_round_trips_through_json() {
+        let report = RepairReport {
+            schema: RepairReport::SCHEMA.into(),
+            entries: vec![RepairEntry {
+                tasks: 1000,
+                events: 8,
+                resolve_us: 50_000.0,
+                repair_us_per_event: 500.0,
+                speedup: 100.0,
+                full_resolves: 1,
+                frontier_tasks: 42,
+                makespan_before: 90_000,
+                makespan_after: 88_000,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RepairReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn regression_check_flags_speedup_drops_only() {
+        let entry = |tasks: usize, events: usize, speedup: f64| RepairEntry {
+            tasks,
+            events,
+            resolve_us: 0.0,
+            repair_us_per_event: 0.0,
+            speedup,
+            full_resolves: 0,
+            frontier_tasks: 0,
+            makespan_before: 0,
+            makespan_after: 0,
+        };
+        let report = |entries: Vec<RepairEntry>| RepairReport {
+            schema: RepairReport::SCHEMA.into(),
+            entries,
+        };
+        let base = report(vec![entry(1000, 1, 100.0), entry(10_000, 64, 40.0)]);
+        let ok = report(vec![entry(1000, 1, 81.0), entry(10_000, 64, 60.0)]);
+        assert!(check_repair_regression(&base, &ok, 20.0).is_ok());
+        let slow = report(vec![entry(1000, 1, 79.0), entry(10_000, 64, 40.0)]);
+        let err = check_repair_regression(&base, &slow, 20.0).unwrap_err();
+        assert!(err.contains("1000 tasks / 1 events"), "{err}");
+        assert!(!err.contains("10000"), "{err}");
+    }
+}

@@ -7,6 +7,8 @@
 //!                 [--deadline-ms 50] [--portfolio] [--trace]
 //!                 [--threads N | --serial]
 //! prfpga validate --input app.json --schedule schedule.json
+//! prfpga replay --input app.json [--trace events.json | --events 20 --seed 7]
+//!               [--cascade 50] [--save-trace events.json] [--out repaired.json]
 //! prfpga devices
 //! ```
 
@@ -14,10 +16,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
-use prfpga_gen::{GraphConfig, TaskGraphGenerator, Topology};
-use prfpga_model::{Architecture, Device, ProblemInstance, Schedule};
+use prfpga_gen::{EventConfig, EventTraceGenerator, GraphConfig, TaskGraphGenerator, Topology};
+use prfpga_model::{Architecture, Device, EventTrace, ProblemInstance, Schedule, ScheduleEvent};
 use prfpga_portfolio::{Portfolio, PortfolioConfig};
-use prfpga_sched::{CancelToken, PaRScheduler, PaScheduler, SchedulerConfig};
+use prfpga_sched::{
+    CancelToken, PaRScheduler, PaScheduler, RepairConfig, RepairEngine, SchedulerConfig,
+};
 use prfpga_sim::{render_gantt, schedule_stats, validate_schedule_sweep};
 
 fn main() -> ExitCode {
@@ -57,6 +61,14 @@ const USAGE: &str = "usage:
                                            of CSR/bitset; byte-identical,
                                            slower at 10k+ tasks)
   prfpga validate --input <file.json> --schedule <schedule.json>
+  prfpga replay   --input <file.json> [--trace <events.json>]
+                  [--events <n>] [--seed <s>]   (synthesize a trace with the
+                                                 standard perturbation mix
+                                                 when --trace is omitted)
+                  [--cascade <pct>]             (full re-solve threshold as a
+                                                 percent of live tasks;
+                                                 default 50)
+                  [--save-trace <events.json>] [--out <schedule.json>]
   prfpga devices";
 
 /// Pulls the value following `--flag`.
@@ -97,6 +109,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => generate(args),
         Some("schedule") => schedule(args),
         Some("validate") => validate(args),
+        Some("replay") => replay(args),
         Some("devices") => {
             devices();
             Ok(())
@@ -341,6 +354,101 @@ fn validate(args: &[String]) -> Result<(), String> {
         }
         Err(e) => Err(format!("schedule is INVALID: {e}")),
     }
+}
+
+/// Replays a runtime event trace against a freshly-committed PA schedule,
+/// repairing after each event and validating the final result.
+fn replay(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--input").ok_or("--input is required")?;
+    let inst = ProblemInstance::load(&input).map_err(|e| e.to_string())?;
+    let baseline = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst)
+        .map_err(|e| e.to_string())?;
+    let before = baseline.makespan();
+
+    let trace = match flag(args, "--trace") {
+        Some(path) => EventTrace::load(&path).map_err(|e| e.to_string())?,
+        None => {
+            let events: usize = flag(args, "--events")
+                .map(|s| s.parse().map_err(|e| format!("--events: {e}")))
+                .transpose()?
+                .unwrap_or(inst.graph.len() / 2);
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(0x5EED);
+            EventTraceGenerator::new(seed).generate(
+                &inst,
+                &baseline,
+                &EventConfig::standard(events),
+            )
+        }
+    };
+    if let Some(path) = flag(args, "--save-trace") {
+        trace.save(&path).map_err(|e| e.to_string())?;
+        println!("wrote trace -> {path}");
+    }
+
+    let cascade: u32 = flag(args, "--cascade")
+        .map(|s| s.parse().map_err(|e| format!("--cascade: {e}")))
+        .transpose()?
+        .unwrap_or(50);
+    let mut engine = RepairEngine::new(
+        inst,
+        baseline,
+        RepairConfig {
+            cascade_threshold_pct: cascade,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let t0 = std::time::Instant::now();
+    for (i, ev) in trace.events.iter().enumerate() {
+        let what = match ev {
+            ScheduleEvent::Finish { task, actual } => format!("finish  t{} @ {actual}", task.0),
+            ScheduleEvent::DurationRevised { task, duration } => {
+                format!("revise  t{} -> {duration} ticks", task.0)
+            }
+            ScheduleEvent::Cancel { task } => format!("cancel  t{}", task.0),
+            ScheduleEvent::Arrive { name, sw_time, .. } => {
+                format!("arrive  `{name}` ({sw_time} ticks sw)")
+            }
+        };
+        let out = engine
+            .apply(ev)
+            .map_err(|e| format!("event {i} ({what}): {e}"))?;
+        println!(
+            "[{i:4}] {what:32} | frontier {:4} moved {:4} recs {:2}{} | makespan {}",
+            out.frontier,
+            out.moved,
+            out.recs_replaced,
+            if out.full_resolve { " FULL" } else { "     " },
+            out.makespan,
+        );
+    }
+    let elapsed = t0.elapsed();
+
+    validate_schedule_sweep(engine.instance(), engine.schedule())
+        .map_err(|e| format!("internal: repaired schedule is invalid: {e}"))?;
+    let s = engine.stats();
+    println!(
+        "replayed {} events in {:.3}ms: makespan {before} -> {} | {} frontier tasks, {} moved, {} reconfigurations re-placed, {} full re-solves, {} retired",
+        s.events,
+        elapsed.as_secs_f64() * 1000.0,
+        engine.schedule().makespan(),
+        s.frontier_tasks,
+        s.moved_tasks,
+        s.recs_replaced,
+        s.full_resolves,
+        s.retired_tasks,
+    );
+    if let Some(out) = flag(args, "--out") {
+        let json = serde_json::to_string_pretty(engine.schedule()).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote repaired schedule -> {out}");
+    }
+    Ok(())
 }
 
 fn devices() {

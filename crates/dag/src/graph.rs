@@ -268,6 +268,38 @@ impl Dag {
         self.succs.truncate(cp.nodes);
     }
 
+    /// Retires node `v`: removes every arc incident to it (both
+    /// directions), leaving the node in place as an isolated vertex so no
+    /// other node is renumbered. Returns the number of arcs removed.
+    ///
+    /// This is the online-repair mutation: a finished task imposes no
+    /// further precedence, so its arcs are dropped rather than the whole
+    /// graph rebuilt. The removed arcs are also purged from the insertion
+    /// journal, which means any [`DagCheckpoint`] taken *before* the
+    /// retirement no longer describes a prefix of this graph —
+    /// [`Dag::rollback`] will reject it. Retirement and checkpoint-based
+    /// search must not be interleaved.
+    pub fn retire_node(&mut self, v: NodeId) -> usize {
+        let vi = v as usize;
+        assert!(vi < self.len(), "node out of range");
+        let preds = std::mem::take(&mut self.preds[vi]);
+        let succs = std::mem::take(&mut self.succs[vi]);
+        let removed = preds.len() + succs.len();
+        if removed == 0 {
+            return 0;
+        }
+        for &p in &preds {
+            self.succs[p as usize].retain(|&x| x != v);
+        }
+        for &s in &succs {
+            self.preds[s as usize].retain(|&x| x != v);
+        }
+        self.edge_count -= removed;
+        self.journal.retain(|&(a, b)| a != v && b != v);
+        self.version = StructVersion::fresh();
+        removed
+    }
+
     /// Kahn topological order; deterministic (smallest-id first among
     /// ready nodes) so every scheduler run is reproducible.
     pub fn topo_order(&self) -> Vec<NodeId> {
@@ -513,6 +545,34 @@ mod tests {
             Dag::with_nodes(2).version(),
             "versions are globally unique across instances"
         );
+    }
+
+    #[test]
+    fn retire_node_isolates_without_renumbering() {
+        let mut d = diamond();
+        let v0 = d.version();
+        assert_eq!(d.retire_node(1), 2); // 0->1 and 1->3
+        assert_ne!(d.version(), v0);
+        assert_eq!(d.len(), 4, "no renumbering");
+        assert_eq!(d.edge_count(), 2);
+        assert!(d.preds(1).is_empty() && d.succs(1).is_empty());
+        assert_eq!(d.succs(0), &[2]);
+        assert_eq!(d.preds(3), &[2]);
+        // The freed node is re-usable and retiring it again is a no-op.
+        assert_eq!(d.retire_node(1), 0);
+        d.add_edge(2, 1).unwrap();
+        assert_eq!(d.preds(1), &[2]);
+        // Topological order still covers every node.
+        assert_eq!(d.topo_order().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn retirement_invalidates_earlier_checkpoints() {
+        let mut d = diamond();
+        let cp = d.checkpoint();
+        d.retire_node(0);
+        d.rollback(cp);
     }
 
     #[test]

@@ -292,6 +292,36 @@ impl ReachIndex {
         self.version = dag.version();
         Ok(())
     }
+
+    /// [`Dag::retire_node`] mirrored through the closure: performs the
+    /// retirement on `dag` and patches the index in `O(n / 64)` — no full
+    /// re-sync — so a stream of `Finish` events costs one row clear each
+    /// instead of an `O(n·E)` closure rebuild.
+    ///
+    /// Requires `v` to have **no ancestors** (every predecessor already
+    /// retired), which is exactly the order tasks finish in: then no
+    /// surviving path routes *through* `v`, so the closure update is
+    /// precisely "clear row `v`" — every other row already omits `v` (bit
+    /// columns for `v` are clear because nothing reaches it) and loses no
+    /// other descendant. Panics when the index is stale or `v` still has
+    /// predecessors.
+    pub fn retire_node(&mut self, dag: &mut Dag, v: NodeId) -> usize {
+        assert!(self.is_current(dag), "index stale for this graph");
+        assert!((v as usize) < dag.len(), "node out of range");
+        assert!(
+            dag.preds(v).is_empty(),
+            "retire_node requires a source node (all predecessors retired first)"
+        );
+        debug_assert!(
+            (0..self.n as NodeId).all(|a| a == v || !self.query(a, v)),
+            "closure says a live ancestor reaches the retiring node"
+        );
+        let removed = dag.retire_node(v);
+        let row = v as usize * self.words;
+        self.bits[row..row + self.words].fill(0);
+        self.version = dag.version();
+        removed
+    }
 }
 
 impl fmt::Debug for ReachIndex {
@@ -439,6 +469,44 @@ mod tests {
         index.sync(&d, &d.topo_order());
         assert!(index.is_current(&d));
         assert_index_matches_dfs(&index, &d);
+    }
+
+    #[test]
+    fn index_retire_node_stays_current_without_resync() {
+        let mut d = Dag::with_nodes(6);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)] {
+            d.add_edge(a, b).unwrap();
+        }
+        let mut index = ReachIndex::new();
+        index.sync(&d, &d.topo_order());
+
+        // Retire in a finish order (sources first); after each step the
+        // closure must still agree with the DFS oracle on the mutated
+        // graph *without* any re-sync — the staleness fix under test.
+        for v in [0, 1, 2, 3] {
+            let removed = index.retire_node(&mut d, v);
+            assert!(removed > 0, "node {v} had live out-arcs");
+            assert!(
+                index.is_current(&d),
+                "retire_node({v}) must leave the closure current"
+            );
+            assert_index_matches_dfs(&index, &d);
+        }
+        // Retired nodes answer like isolated vertices.
+        assert!(!index.query(0, 4));
+        assert!(index.query(0, 0));
+        // The graph stays usable through the index afterwards.
+        index.add_edge(&mut d, 4, 5).unwrap();
+        assert_index_matches_dfs(&index, &d);
+    }
+
+    #[test]
+    #[should_panic(expected = "source node")]
+    fn index_retire_node_rejects_live_ancestors() {
+        let mut d = chain5();
+        let mut index = ReachIndex::new();
+        index.sync(&d, &d.topo_order());
+        index.retire_node(&mut d, 2); // 1 -> 2 still live
     }
 
     #[test]

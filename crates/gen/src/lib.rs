@@ -17,11 +17,13 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod profile;
 pub mod stats;
 pub mod suite;
 pub mod topology;
 
+pub use events::{EventConfig, EventTraceGenerator};
 pub use profile::{ImplProfile, TaskKind};
 pub use stats::{instance_stats, InstanceStats};
 pub use suite::{standard_suite, SuiteConfig};

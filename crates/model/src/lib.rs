@@ -27,6 +27,7 @@ pub mod architecture;
 pub mod cancel;
 pub mod device;
 pub mod error;
+pub mod event;
 pub mod implementation;
 pub mod instance;
 pub mod resources;
@@ -38,6 +39,7 @@ pub use architecture::Architecture;
 pub use cancel::{Budget, CancelToken, FakeClock};
 pub use device::{Device, FabricColumn, FabricGeometry};
 pub use error::ModelError;
+pub use event::{EventTrace, ScheduleEvent};
 pub use implementation::{ImplId, ImplKind, ImplPool, Implementation};
 pub use instance::ProblemInstance;
 pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};

@@ -79,6 +79,14 @@ pub struct SchedulerConfig {
     /// Schedules are byte-identical either way; the switch keeps the
     /// adjacency+DFS path testable as the differential baseline.
     pub csr_paths: bool,
+    /// Run the pipeline through the solve/commit seam: phases A–F stay a
+    /// pure decision core and phase G's timing realization is applied as
+    /// one named-checkpoint commit on the controller timeline's journal —
+    /// the seam the online repair engine builds on. Schedules are
+    /// byte-identical either way (the journal records, it never re-times);
+    /// the switch keeps the direct-realization path testable as the
+    /// differential baseline.
+    pub solve_commit: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -96,6 +104,7 @@ impl Default for SchedulerConfig {
             module_reuse: false,
             workspace_reuse: true,
             csr_paths: true,
+            solve_commit: true,
         }
     }
 }

@@ -11,6 +11,7 @@ use prfpga_model::{CancelToken, Device, ProblemInstance, ResourceVec, Schedule};
 
 use prfpga_model::ImplId;
 
+use crate::commit;
 use crate::config::{OrderingPolicy, SchedulerConfig};
 use crate::error::SchedError;
 use crate::metrics::MetricWeights;
@@ -305,6 +306,12 @@ pub(crate) fn do_schedule_traced(
 /// a loop threading one workspace through repeated calls is
 /// allocation-free in the steady state. Byte-identical to
 /// [`do_schedule_traced`] by construction.
+///
+/// Structured as solve-then-commit: [`solve_in`] runs the pure decision
+/// core (phases A–F, no timeline reservations), then phase G's timing
+/// realization is applied — as one journaled batch commit behind
+/// [`SchedulerConfig::solve_commit`], directly otherwise. Identical
+/// schedules either way; the seam exists for the online repair engine.
 pub(crate) fn do_schedule_in(
     ws: &mut SchedWorkspace,
     inst: &ProblemInstance,
@@ -314,6 +321,32 @@ pub(crate) fn do_schedule_in(
     observer: &ObserverHandle,
     memo: Option<&mut ImplSelectMemo>,
 ) -> Schedule {
+    let state = solve_in(ws, inst, virtual_device, config, ordering, observer, memo);
+
+    // Phase G — reconfiguration scheduling / timing realization: the only
+    // point where decisions become timeline reservations (the commit).
+    let schedule = if config.solve_commit {
+        commit::commit_batch(&state, config.module_reuse, &mut ws.reconf_timeline)
+    } else {
+        reconf::realize_schedule_in(&state, config.module_reuse, &mut ws.reconf_timeline)
+    };
+    state.recycle(ws);
+    schedule
+}
+
+/// The pure decision core: phases A–F against `ws`'s buffers. Mutates only
+/// the [`SchedState`] it returns — implementation choices, regions,
+/// sequencing arcs, core mappings — and reserves nothing on the controller
+/// timeline; the caller owns the commit (phase G).
+pub(crate) fn solve_in<'a>(
+    ws: &mut SchedWorkspace,
+    inst: &'a ProblemInstance,
+    virtual_device: &'a Device,
+    config: &SchedulerConfig,
+    ordering: OrderingPolicy,
+    observer: &ObserverHandle,
+    memo: Option<&mut ImplSelectMemo>,
+) -> SchedState<'a> {
     // Phase A — implementation selection, into the workspace's buffer.
     // A memo hit replays the stored choice; phase A is deterministic in
     // `(inst, max_res)`, so the replay is byte-identical to re-running it.
@@ -383,11 +416,7 @@ pub(crate) fn do_schedule_in(
     // Phase F — software task mapping.
     sw_map::map_software_tasks(&mut state);
 
-    // Phase G — reconfiguration scheduling / timing realization.
-    let schedule =
-        reconf::realize_schedule_in(&state, config.module_reuse, &mut ws.reconf_timeline);
-    state.recycle(ws);
-    schedule
+    state
 }
 
 #[cfg(test)]

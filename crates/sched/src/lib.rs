@@ -36,18 +36,21 @@
 
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod config;
 pub mod driver;
 pub mod error;
 pub mod metrics;
 pub mod phases;
 pub mod randomized;
+pub mod repair;
 pub mod state;
 pub mod trace;
 
 pub use config::{CostPolicy, OrderingPolicy, SchedulerConfig};
 pub use driver::{PaResult, PaScheduler};
 pub use error::SchedError;
+pub use repair::{RepairConfig, RepairEngine, RepairError, RepairOutcome, RepairStats};
 // The cancellation kernel lives in `prfpga-model` (so leaf crates can accept
 // tokens without a dependency cycle) and is re-exported here as the
 // scheduler-facing API surface.

@@ -58,6 +58,20 @@ pub fn realize_schedule_in(
     module_reuse: bool,
     icap: &mut Timeline,
 ) -> Schedule {
+    let k = state.inst.architecture.num_reconfig_controllers.max(1);
+    icap.reset(0, 0, k);
+    realize_schedule_prepared(state, module_reuse, icap)
+}
+
+/// The timing-realization pass against an already-reset controller
+/// timeline. The commit layer calls this directly so it can open a named
+/// journal checkpoint between the reset and the first reservation;
+/// [`realize_schedule_in`] is the reset-then-realize convenience wrapper.
+pub(crate) fn realize_schedule_prepared(
+    state: &SchedState<'_>,
+    module_reuse: bool,
+    icap: &mut Timeline,
+) -> Schedule {
     let t0 = Instant::now();
     let n = state.inst.graph.len();
 
@@ -144,9 +158,8 @@ pub fn realize_schedule_in(
     // One controller lane per reconfiguration controller (one in the
     // paper's model; its ref. \[8\] generalizes to several). Arbitration
     // is clock-style — `controller_next_free`, never a gap backfill — so
-    // the event-driven pass keeps its fixed-point semantics.
-    let k = state.inst.architecture.num_reconfig_controllers.max(1);
-    icap.reset(0, 0, k);
+    // the event-driven pass keeps its fixed-point semantics. The caller
+    // reset the lanes before this pass.
     let mut scheduled = 0usize;
 
     while scheduled < total {

@@ -130,6 +130,17 @@ pub trait PhaseObserver: Send + Sync {
     /// [`CancelToken`](prfpga_model::CancelToken) and how many of them
     /// observed the fired state (0 hits = the deadline never fired).
     fn cancel_stats(&self, _cancel_polls: u64, _deadline_hits: u64) {}
+
+    /// The commit layer applied a batch realization covering `edits`
+    /// controller-timeline journal edits (only emitted behind the
+    /// `solve_commit` gate; one call per pipeline run).
+    fn batch_committed(&self, _edits: u64) {}
+
+    /// The repair engine finished one event: `frontier` tasks were
+    /// invalidated and re-timed, `moved` of them actually changed their
+    /// window, and `full_resolve` says the cascade threshold forced a
+    /// from-scratch re-solve instead of a delta repair.
+    fn repair_applied(&self, _frontier: u64, _moved: u64, _full_resolve: bool) {}
 }
 
 /// The do-nothing observer used by untraced paths.
@@ -217,6 +228,21 @@ pub struct PhaseTrace {
     /// Checkpoints that observed the fired deadline (nonzero exactly when
     /// the run was cut short and returned a degraded result).
     pub deadline_hits: u64,
+    /// Batch commits applied through the solve/commit seam, summed over
+    /// restarts (0 when the `solve_commit` gate is off; equals `attempts`
+    /// when it is on).
+    pub commits: u64,
+    /// Controller-timeline journal edits covered by those commits, summed.
+    pub commit_edits: u64,
+    /// Schedule events the repair engine applied, summed.
+    pub repair_events: u64,
+    /// Tasks invalidated and re-timed across all repairs, summed.
+    pub repair_frontier: u64,
+    /// Tasks whose window actually changed across all repairs, summed.
+    pub repair_moved: u64,
+    /// Repairs that crossed the cascade threshold and fell back to a
+    /// from-scratch re-solve.
+    pub repair_full_resolves: u64,
 }
 
 impl PhaseTrace {
@@ -280,6 +306,21 @@ impl PhaseTrace {
             "cancellation {} polls / {} deadline hits\n",
             self.cancel_polls, self.deadline_hits,
         ));
+        if self.commits > 0 {
+            out.push_str(&format!(
+                "commit {} batches / {} journal edits\n",
+                self.commits, self.commit_edits,
+            ));
+        }
+        if self.repair_events > 0 {
+            out.push_str(&format!(
+                "repair {} events / {} frontier / {} moved / {} full re-solves\n",
+                self.repair_events,
+                self.repair_frontier,
+                self.repair_moved,
+                self.repair_full_resolves,
+            ));
+        }
         out
     }
 }
@@ -349,6 +390,23 @@ impl PhaseObserver for TraceRecorder {
         let mut t = self.inner.lock();
         t.cancel_polls = cancel_polls;
         t.deadline_hits = deadline_hits;
+    }
+
+    // Commit/repair counters ACCUMULATE (unlike the last-run structural
+    // counters above): a trace over a restart loop or an event stream
+    // reports totals, not the final step.
+    fn batch_committed(&self, edits: u64) {
+        let mut t = self.inner.lock();
+        t.commits += 1;
+        t.commit_edits += edits;
+    }
+
+    fn repair_applied(&self, frontier: u64, moved: u64, full_resolve: bool) {
+        let mut t = self.inner.lock();
+        t.repair_events += 1;
+        t.repair_frontier += frontier;
+        t.repair_moved += moved;
+        t.repair_full_resolves += u64::from(full_resolve);
     }
 }
 
@@ -439,6 +497,37 @@ mod tests {
         assert!(t
             .render_table()
             .contains("cancellation 55 polls / 2 deadline hits"));
+    }
+
+    #[test]
+    fn commit_and_repair_counters_accumulate() {
+        let rec = TraceRecorder::new();
+        rec.batch_committed(3);
+        rec.batch_committed(5);
+        rec.repair_applied(10, 4, false);
+        rec.repair_applied(200, 180, true);
+        let t = rec.snapshot();
+        assert_eq!((t.commits, t.commit_edits), (2, 8));
+        assert_eq!(
+            (
+                t.repair_events,
+                t.repair_frontier,
+                t.repair_moved,
+                t.repair_full_resolves
+            ),
+            (2, 210, 184, 1)
+        );
+        let table = t.render_table();
+        assert!(table.contains("commit 2 batches / 8 journal edits"));
+        assert!(table.contains("repair 2 events / 210 frontier / 184 moved / 1 full re-solves"));
+    }
+
+    #[test]
+    fn commit_lines_hidden_when_seam_unused() {
+        let t = PhaseTrace::default();
+        let table = t.render_table();
+        assert!(!table.contains("commit "));
+        assert!(!table.contains("repair "));
     }
 
     #[test]

@@ -71,16 +71,16 @@ pub use prfpga_timeline as timeline;
 /// Convenient glob-import surface covering the common API.
 pub mod prelude {
     pub use prfpga_baseline::{HeftScheduler, IsKScheduler};
-    pub use prfpga_gen::{SuiteConfig, TaskGraphGenerator};
+    pub use prfpga_gen::{EventConfig, EventTraceGenerator, SuiteConfig, TaskGraphGenerator};
     pub use prfpga_model::{
-        Architecture, Device, ImplId, ImplKind, ImplPool, Implementation, Placement,
+        Architecture, Device, EventTrace, ImplId, ImplKind, ImplPool, Implementation, Placement,
         ProblemInstance, Reconfiguration, Region, RegionId, ResourceKind, ResourceVec, Schedule,
-        TaskGraph, TaskId, Time, TimeWindow,
+        ScheduleEvent, TaskGraph, TaskId, Time, TimeWindow,
     };
     pub use prfpga_portfolio::{Member, Portfolio, PortfolioConfig};
     pub use prfpga_sched::{
         Budget, CancelToken, CostPolicy, FakeClock, OrderingPolicy, PaRScheduler, PaScheduler,
-        SchedulerConfig,
+        RepairConfig, RepairEngine, RepairOutcome, SchedulerConfig,
     };
     pub use prfpga_sim::{validate_schedule, validate_schedule_sweep};
 }

@@ -26,6 +26,18 @@ fn groups() -> Vec<Vec<ProblemInstance>> {
     .generate(&Architecture::zedboard_pr())
 }
 
+/// Base configuration for every scheduler in this file. CI runs the suite
+/// twice: once as-is (journaled solve/commit realization, the default) and
+/// once with `PRFPGA_SOLVE_COMMIT=0` flipping phase G onto the direct
+/// non-journaled path — the two must agree on every oracle here, which is
+/// what makes the gate a pure seam and not a behavior switch.
+fn base_config() -> SchedulerConfig {
+    SchedulerConfig {
+        solve_commit: !matches!(std::env::var("PRFPGA_SOLVE_COMMIT").as_deref(), Ok("0")),
+        ..Default::default()
+    }
+}
+
 /// Ideal unlimited-resource makespan: CPM over the precedence graph with
 /// each task at its fastest implementation (hardware or software).
 fn cpm_lower_bound(inst: &ProblemInstance) -> Time {
@@ -50,11 +62,11 @@ fn cpm_lower_bound(inst: &ProblemInstance) -> Time {
 /// every instance of the suite.
 #[test]
 fn all_schedulers_respect_cpm_lower_bound() {
-    let pa = PaScheduler::new(SchedulerConfig::default());
+    let pa = PaScheduler::new(base_config());
     let par = PaRScheduler::new(SchedulerConfig {
         max_iterations: 4,
         time_budget: std::time::Duration::from_secs(120),
-        ..Default::default()
+        ..base_config()
     });
     let is1 = IsKScheduler::new(IsKConfig::is1());
     let is5 = IsKScheduler::new(IsKConfig::is5());
@@ -103,9 +115,9 @@ fn all_schedulers_respect_cpm_lower_bound() {
 fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
     let fresh_cfg = SchedulerConfig {
         workspace_reuse: false,
-        ..Default::default()
+        ..base_config()
     };
-    let reuse_cfg = SchedulerConfig::default();
+    let reuse_cfg = base_config();
     assert!(reuse_cfg.workspace_reuse, "reuse is the default");
 
     let pa_fresh = PaScheduler::new(fresh_cfg.clone());
@@ -151,9 +163,9 @@ fn workspace_reuse_is_byte_identical_to_fresh_allocation() {
 fn csr_fast_paths_are_byte_identical_to_dfs_paths() {
     let slow_cfg = SchedulerConfig {
         csr_paths: false,
-        ..Default::default()
+        ..base_config()
     };
-    let fast_cfg = SchedulerConfig::default();
+    let fast_cfg = base_config();
     assert!(fast_cfg.csr_paths, "fast graph paths are the default");
 
     let pa_slow = PaScheduler::new(slow_cfg.clone());
@@ -210,11 +222,11 @@ fn csr_fast_paths_are_byte_identical_to_dfs_paths() {
 fn cancellation_plumbing_is_inert_without_a_deadline() {
     use prfpga::portfolio::{Member, Portfolio, PortfolioConfig};
 
-    let pa = PaScheduler::new(SchedulerConfig::default());
+    let pa = PaScheduler::new(base_config());
     let par_cfg = SchedulerConfig {
         max_iterations: 4,
         time_budget: std::time::Duration::from_secs(120),
-        ..Default::default()
+        ..base_config()
     };
     let par = PaRScheduler::new(par_cfg.clone());
 
@@ -302,11 +314,11 @@ fn cancellation_plumbing_is_inert_without_a_deadline() {
     ignore = "floorplan wall-clock budget is unreliable in debug builds"
 )]
 fn par_aggregate_does_not_lose_to_pa() {
-    let pa = PaScheduler::new(SchedulerConfig::default());
+    let pa = PaScheduler::new(base_config());
     let par = PaRScheduler::new(SchedulerConfig {
         max_iterations: 12,
         time_budget: std::time::Duration::from_secs(120),
-        ..Default::default()
+        ..base_config()
     });
     let mut pa_total = 0u64;
     let mut par_total = 0u64;
@@ -324,4 +336,54 @@ fn par_aggregate_does_not_lose_to_pa() {
         par_total as f64 <= pa_total as f64 * 1.02,
         "PA-R aggregate ({par_total}) should not lose to PA ({pa_total}) beyond noise"
     );
+}
+
+/// The solve/commit split (phase G routed through the edit journal and
+/// `commit_batch` instead of realizing directly into the lanes) is a pure
+/// seam: with `solve_commit` off the schedulers fall back to the direct
+/// non-journaled realization, and the two configurations must produce
+/// byte-identical schedules, restart counts, iteration counts and
+/// convergence traces.
+#[test]
+fn solve_commit_gate_is_byte_identical() {
+    let direct_cfg = SchedulerConfig {
+        solve_commit: false,
+        ..Default::default()
+    };
+    let journal_cfg = SchedulerConfig {
+        solve_commit: true,
+        ..Default::default()
+    };
+
+    let pa_direct = PaScheduler::new(direct_cfg.clone());
+    let pa_journal = PaScheduler::new(journal_cfg.clone());
+    let par_cfg = |base: &SchedulerConfig| SchedulerConfig {
+        max_iterations: 6,
+        time_budget: std::time::Duration::from_secs(120),
+        ..base.clone()
+    };
+    let par_direct = PaRScheduler::new(par_cfg(&direct_cfg));
+    let par_journal = PaRScheduler::new(par_cfg(&journal_cfg));
+
+    for group in groups() {
+        for inst in &group {
+            let a = pa_direct.schedule_detailed(inst).unwrap();
+            let b = pa_journal.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA schedule on {}", inst.name);
+            assert_eq!(a.attempts, b.attempts, "PA attempts on {}", inst.name);
+
+            let a = par_direct.schedule_detailed(inst).unwrap();
+            let b = par_journal.schedule_detailed(inst).unwrap();
+            assert_eq!(a.schedule, b.schedule, "PA-R schedule on {}", inst.name);
+            assert_eq!(
+                a.iterations, b.iterations,
+                "PA-R iterations on {}",
+                inst.name
+            );
+            let points = |r: &PaRResult| -> Vec<(usize, Time)> {
+                r.trace.iter().map(|p| (p.iteration, p.makespan)).collect()
+            };
+            assert_eq!(points(&a), points(&b), "PA-R convergence on {}", inst.name);
+        }
+    }
 }

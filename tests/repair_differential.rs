@@ -1,0 +1,138 @@
+//! Differential oracles for the online repair engine.
+//!
+//! A seeded corpus of event traces is replayed against committed PA
+//! schedules, and every repair is checked three ways:
+//!
+//! * **validity** — after *every* event, the repaired schedule passes the
+//!   independent sweep-line validator against the revised instance;
+//! * **exactness** — a trace of nothing but exactly-on-schedule finishes
+//!   leaves the schedule byte-identical (the repair engine only reacts to
+//!   deviations);
+//! * **quality** — after a full perturbation trace, the repaired makespan
+//!   stays within a pinned bound of what the batch pipeline produces when
+//!   re-solving the revised instance from scratch. Delta repair keeps all
+//!   placements fixed, so it legitimately trails a full re-plan — but it
+//!   must not fall off a cliff.
+
+use prfpga::prelude::*;
+use prfpga::sched::RepairStats;
+
+/// Corpus shape: enough seeds to exercise cancels, revisions, arrivals
+/// and both early and late finishes, small enough for a debug-build CI
+/// step.
+const SIZES: [usize; 2] = [30, 60];
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+fn committed(tasks: usize, seed: u64) -> (ProblemInstance, Schedule) {
+    let inst = TaskGraphGenerator::new(seed).generate(
+        &format!("repair_diff_{tasks}_{seed}"),
+        &prfpga::gen::GraphConfig::standard(tasks),
+        Architecture::zedboard_pr(),
+    );
+    let schedule = PaScheduler::new(SchedulerConfig::default())
+        .schedule(&inst)
+        .expect("generated instances solve");
+    (inst, schedule)
+}
+
+/// Every repaired schedule passes the sweep-line validator after every
+/// single event of every corpus trace — not only at the end, so the
+/// first invalid intermediate state names its event.
+#[test]
+fn every_repair_step_validates() {
+    for &tasks in &SIZES {
+        for &seed in &SEEDS {
+            let (inst, schedule) = committed(tasks, seed);
+            let trace = EventTraceGenerator::new(seed ^ 0xE7).generate(
+                &inst,
+                &schedule,
+                &EventConfig::standard(tasks / 2),
+            );
+            let mut engine =
+                RepairEngine::new(inst, schedule, RepairConfig::default()).expect("clean baseline");
+            for (i, ev) in trace.events.iter().enumerate() {
+                engine
+                    .apply(ev)
+                    .unwrap_or_else(|e| panic!("{tasks}/{seed}: event {i} ({ev:?}) refused: {e}"));
+                validate_schedule_sweep(engine.instance(), engine.schedule()).unwrap_or_else(|e| {
+                    panic!("{tasks}/{seed}: invalid schedule after event {i} ({ev:?}): {e:?}")
+                });
+            }
+        }
+    }
+}
+
+/// An on-time trace is a no-op: the repaired schedule is byte-identical
+/// to the committed baseline and no task ever moves.
+#[test]
+fn on_time_traces_leave_the_schedule_byte_identical() {
+    for &tasks in &SIZES {
+        for &seed in &SEEDS {
+            let (inst, schedule) = committed(tasks, seed);
+            let trace = EventTraceGenerator::new(seed).generate(
+                &inst,
+                &schedule,
+                &EventConfig::on_time(tasks),
+            );
+            assert_eq!(trace.events.len(), tasks, "every task finishes");
+            let mut engine = RepairEngine::new(inst, schedule.clone(), RepairConfig::default())
+                .expect("clean baseline");
+            for ev in &trace.events {
+                let out = engine.apply(ev).expect("on-time finishes never fail");
+                assert_eq!(
+                    out.frontier, 0,
+                    "{tasks}/{seed}: on-time finish invalidated"
+                );
+                assert_eq!(out.moved, 0);
+            }
+            assert_eq!(
+                *engine.schedule(),
+                schedule,
+                "{tasks}/{seed}: on-time replay must not disturb the schedule"
+            );
+            let RepairStats {
+                moved_tasks,
+                recs_replaced,
+                full_resolves,
+                ..
+            } = engine.stats();
+            assert_eq!((moved_tasks, recs_replaced, full_resolves), (0, 0, 0));
+        }
+    }
+}
+
+/// After a full standard-mix trace, the delta-repaired makespan stays
+/// within a pinned factor of a from-scratch PA re-solve on the revised
+/// instance (which may re-place everything). The bound is deliberately
+/// loose — fixed placements cost real schedule length under heavy
+/// perturbation — but pins the engine against silent quality cliffs.
+#[test]
+fn repaired_makespan_tracks_the_full_resolve() {
+    const BOUND: f64 = 1.5;
+    for &tasks in &SIZES {
+        for &seed in &SEEDS {
+            let (inst, schedule) = committed(tasks, seed);
+            let trace = EventTraceGenerator::new(seed ^ 0xBEEF).generate(
+                &inst,
+                &schedule,
+                &EventConfig::standard(tasks / 3),
+            );
+            let mut engine =
+                RepairEngine::new(inst, schedule, RepairConfig::default()).expect("clean baseline");
+            for ev in &trace.events {
+                engine
+                    .apply(ev)
+                    .unwrap_or_else(|e| panic!("{tasks}/{seed}: {e}"));
+            }
+            let repaired = engine.schedule().makespan();
+            let resolved = PaScheduler::new(SchedulerConfig::default())
+                .schedule(engine.instance())
+                .expect("revised instances solve")
+                .makespan();
+            assert!(
+                repaired as f64 <= resolved as f64 * BOUND,
+                "{tasks}/{seed}: repaired makespan {repaired} vs re-solve {resolved} exceeds {BOUND}x"
+            );
+        }
+    }
+}
