@@ -353,7 +353,10 @@ impl<'a> PartialSchedule<'a> {
             regions: self
                 .regions
                 .into_iter()
-                .map(|r| Region { res: r.res })
+                .map(|r| Region {
+                    res: r.res,
+                    fabric: 0,
+                })
                 .collect(),
             assignments: self
                 .decisions

@@ -11,7 +11,7 @@
 //! ```text
 //! scaling [--sizes 1000,10000] [--instances N] [--par-iters N]
 //!         [--out BENCH_scaling.json] [--check <baseline.json>]
-//!         [--tolerance-pct 20] [--no-reach-bench]
+//!         [--tolerance-pct 20] [--no-reach-bench] [--no-partition-bench]
 //!         [--threads N | --serial]
 //! ```
 //!
@@ -22,8 +22,8 @@
 
 use prfpga_bench::report::markdown_table;
 use prfpga_bench::{
-    check_throughput_regression, measure_scaling_entry, reach_microbench, warmup_run, ExecPolicy,
-    ReachBench, ScalingReport, ScalingStudyConfig,
+    check_throughput_regression, measure_scaling_entry, partition_quality_bench, reach_microbench,
+    warmup_run, ExecPolicy, PartitionBench, ReachBench, ScalingReport, ScalingStudyConfig,
 };
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -97,10 +97,24 @@ fn main() {
         vec![b]
     };
 
+    // Partition-quality probe: fixed small size so the row tracks the
+    // heuristic's quality, not generator scaling.
+    let partition: Vec<PartitionBench> = if args.iter().any(|a| a == "--no-partition-bench") {
+        Vec::new()
+    } else {
+        let b = partition_quality_bench(120);
+        eprintln!(
+            "  partition @ {} tasks on {}: {} ticks vs {} relaxed ({:+.1}%)",
+            b.tasks, b.platform, b.makespan_partitioned, b.makespan_relaxed, b.overhead_pct
+        );
+        vec![b]
+    };
+
     let report = ScalingReport {
         schema: ScalingReport::SCHEMA.into(),
         entries,
         reach,
+        partition,
     };
 
     println!("### Task-graph scaling trajectory\n");

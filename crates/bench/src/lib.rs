@@ -37,7 +37,7 @@ pub use repair::{
 pub use report::{improvement_pct, mean, phase_trace_section, sample_std, GroupSummary};
 pub use runners::{run_heft, run_isk, run_pa, run_par_iters, run_par_timed, InstanceResult};
 pub use scale::{
-    check_throughput_regression, measure_scaling_entry, peak_rss_kb, reach_microbench,
-    scaling_instances, warmup_run, PhaseMs, ReachBench, Scale, ScaleConfig, ScalingEntry,
-    ScalingReport, ScalingStudyConfig,
+    check_throughput_regression, measure_scaling_entry, partition_quality_bench, peak_rss_kb,
+    reach_microbench, scaling_instances, warmup_run, PartitionBench, PhaseMs, ReachBench, Scale,
+    ScaleConfig, ScalingEntry, ScalingReport, ScalingStudyConfig,
 };

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use prfpga_baseline::IsKConfig;
 use prfpga_dag::{reach, Dag, ReachIndex};
 use prfpga_gen::{GraphConfig, SuiteConfig, TaskGraphGenerator};
-use prfpga_model::{Architecture, ProblemInstance};
+use prfpga_model::{Architecture, Platform, ProblemInstance};
 use prfpga_sched::{Phase, SchedulerConfig};
 use prfpga_sim::validate_schedule_sweep;
 use serde::{Deserialize, Serialize};
@@ -148,6 +148,26 @@ pub struct ReachBench {
     pub speedup: f64,
 }
 
+/// Partition quality at one size: PA's makespan on a real multi-fabric
+/// platform vs the same graph on the platform's sum-capacity single-fabric
+/// relaxation. The relaxation ignores partitioning and crossing latency
+/// entirely, so it is the yardstick the partition heuristic is measured
+/// against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionBench {
+    /// Platform name (`dual-zedboard`).
+    pub platform: String,
+    /// Tasks in the probed instance.
+    pub tasks: usize,
+    /// PA makespan on the partitioned multi-fabric platform, ticks.
+    pub makespan_partitioned: u64,
+    /// PA makespan on the sum-capacity relaxation, ticks.
+    pub makespan_relaxed: u64,
+    /// `(partitioned / relaxed - 1) * 100`: the partition + crossing
+    /// overhead in percent (can go negative — both runs are heuristic).
+    pub overhead_pct: f64,
+}
+
 /// The persisted scaling trajectory (`BENCH_scaling.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScalingReport {
@@ -157,6 +177,10 @@ pub struct ScalingReport {
     pub entries: Vec<ScalingEntry>,
     /// Reachability microbenchmarks (empty when skipped).
     pub reach: Vec<ReachBench>,
+    /// Partition-quality probes (empty when skipped; absent in reports
+    /// written before the multi-fabric axis existed).
+    #[serde(default)]
+    pub partition: Vec<PartitionBench>,
 }
 
 impl ScalingReport {
@@ -303,6 +327,47 @@ pub fn measure_scaling_entry(
     }
 }
 
+/// Measures one partition-quality point: PA on `tasks` tasks targeting
+/// [`Platform::dual_zedboard`] (partition phase, per-fabric floorplanning
+/// and crossing latencies) vs PA on the same graph and implementation
+/// pool targeting the platform's sum-capacity relaxation device. Both
+/// schedules are sweep-validated against their own instance.
+pub fn partition_quality_bench(tasks: usize) -> PartitionBench {
+    let platform = Platform::dual_zedboard();
+    let generator = TaskGraphGenerator::new(SCALING_SEED);
+    let mf = generator.generate(
+        &format!("part_{tasks}"),
+        &GraphConfig::standard(tasks),
+        Architecture::on_platform(2, platform.clone()),
+    );
+    // The relaxation reuses the multi-fabric instance's graph and pool so
+    // both runs schedule identical work; only the target differs.
+    let relaxed = ProblemInstance::new(
+        format!("part_{tasks}_relaxed"),
+        Architecture::new(2, platform.relaxation_device()),
+        mf.graph.clone(),
+        mf.impls.clone(),
+    )
+    .expect("relaxation only grows capacity");
+
+    let run = |inst: &ProblemInstance| -> u64 {
+        let s = prfpga_sched::PaScheduler::new(SchedulerConfig::default())
+            .schedule(inst)
+            .expect("validated instance");
+        validate_schedule_sweep(inst, &s).expect("PA schedule validates");
+        s.makespan()
+    };
+    let makespan_partitioned = run(&mf);
+    let makespan_relaxed = run(&relaxed);
+    PartitionBench {
+        platform: platform.name,
+        tasks,
+        makespan_partitioned,
+        makespan_relaxed,
+        overhead_pct: (makespan_partitioned as f64 / makespan_relaxed.max(1) as f64 - 1.0) * 100.0,
+    }
+}
+
 /// Times DFS vs bitset-closure reachability over `queries` deterministic
 /// pseudo-random probe pairs on one generated instance, verifying both
 /// variants agree on every probe.
@@ -413,6 +478,7 @@ mod tests {
             schema: ScalingReport::SCHEMA.into(),
             entries,
             reach: Vec::new(),
+            partition: Vec::new(),
         };
         let base = report(vec![entry(1000, 1000.0), entry(10_000, 500.0)]);
         // Within tolerance, faster, and baseline-only sizes all pass.
@@ -449,10 +515,21 @@ mod tests {
                 index_ns_per_query: 10.0,
                 speedup: 50.0,
             }],
+            partition: vec![PartitionBench {
+                platform: "dual-zedboard".into(),
+                tasks: 120,
+                makespan_partitioned: 1100,
+                makespan_relaxed: 1000,
+                overhead_pct: 10.0,
+            }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ScalingReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        // Reports written before the partition row existed still parse.
+        let legacy = json.replace("\"partition\"", "\"_partition_gone\"");
+        let back: ScalingReport = serde_json::from_str(&legacy).unwrap();
+        assert!(back.partition.is_empty());
     }
 
     #[test]
@@ -462,6 +539,14 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a[0].graph.len(), 60);
         assert_ne!(a[0].graph.edges, a[1].graph.edges, "distinct instances");
+    }
+
+    #[test]
+    fn partition_bench_runs_on_small_graph() {
+        let b = partition_quality_bench(30);
+        assert_eq!(b.platform, "dual-zedboard");
+        assert!(b.makespan_partitioned > 0 && b.makespan_relaxed > 0);
+        assert!(b.overhead_pct.is_finite());
     }
 
     #[test]

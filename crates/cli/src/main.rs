@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! prfpga generate --tasks 30 --seed 7 --out app.json [--topology layered]
+//!                 [--platform alveo-u250|dual-zedboard|xc7z020|...]
 //! prfpga schedule --input app.json [--algo pa|par|is1|is5|heft|portfolio]
 //!                 [--gantt] [--out schedule.json] [--budget-ms 500]
 //!                 [--deadline-ms 50] [--portfolio] [--trace]
@@ -10,14 +11,20 @@
 //! prfpga replay --input app.json [--trace events.json | --events 20 --seed 7]
 //!               [--cascade 50] [--save-trace events.json] [--out repaired.json]
 //! prfpga devices
+//! prfpga platforms
 //! ```
+//!
+//! Instances carry their target inside the JSON, so `schedule`, `validate`
+//! and `replay` accept multi-fabric platform instances transparently.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
 use prfpga_gen::{EventConfig, EventTraceGenerator, GraphConfig, TaskGraphGenerator, Topology};
-use prfpga_model::{Architecture, Device, EventTrace, ProblemInstance, Schedule, ScheduleEvent};
+use prfpga_model::{
+    Architecture, Device, EventTrace, Platform, ProblemInstance, Schedule, ScheduleEvent,
+};
 use prfpga_portfolio::{Portfolio, PortfolioConfig};
 use prfpga_sched::{
     CancelToken, PaRScheduler, PaScheduler, RepairConfig, RepairEngine, SchedulerConfig,
@@ -39,7 +46,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   prfpga generate --tasks <n> [--seed <s>] [--topology layered|chain|forkjoin|seriesparallel]
-                  [--cores <p>] [--device xc7z010|xc7z020|xc7z045]
+                  [--cores <p>] [--platform alveo-u250|dual-zedboard|xc7z010|xc7z020|xc7z045]
+                  [--device <name>]       (alias of --platform for 1-fabric targets)
                   [--recfreq <bits-per-tick>] [--comm <max-ticks>] --out <file.json>
   prfpga schedule --input <file.json> [--algo pa|par|is1|is5|heft|portfolio]
                   [--budget-ms <ms>] [--gantt] [--out <schedule.json>]
@@ -69,7 +77,8 @@ const USAGE: &str = "usage:
                                                  percent of live tasks;
                                                  default 50)
                   [--save-trace <events.json>] [--out <schedule.json>]
-  prfpga devices";
+  prfpga devices
+  prfpga platforms";
 
 /// Pulls the value following `--flag`.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -114,6 +123,10 @@ fn run(args: &[String]) -> Result<(), String> {
             devices();
             Ok(())
         }
+        Some("platforms") => {
+            platforms();
+            Ok(())
+        }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -136,23 +149,42 @@ fn generate(args: &[String]) -> Result<(), String> {
         Some("seriesparallel") => Topology::SeriesParallel,
         Some(t) => return Err(format!("unknown topology `{t}`")),
     };
-    let mut device = match flag(args, "--device").as_deref() {
-        None | Some("xc7z020") => Device::xc7z020(),
-        Some("xc7z010") => Device::xc7z010(),
-        Some("xc7z045") => Device::xc7z045(),
-        Some(d) => return Err(format!("unknown device `{d}`")),
+    // `--platform` and `--device` both resolve through the platform
+    // catalog; `--device` is the 1-fabric alias the original CLI shipped
+    // with. A 1-fabric resolution builds the classic single-device
+    // architecture (byte-identical schedules); several fabrics attach the
+    // platform.
+    let name = match (flag(args, "--platform"), flag(args, "--device")) {
+        (Some(p), _) => p,
+        (None, Some(d)) => d,
+        (None, None) => "xc7z020".to_string(),
     };
+    let mut platform =
+        Platform::by_name(&name).ok_or_else(|| format!("unknown platform `{name}`"))?;
     // Effective configuration throughput (bits per tick); defaults to the
     // 50 MB/s sustained figure of real PR runtimes, like the benchmark
-    // suite. Pass --recfreq 3200 for raw datasheet ICAP bandwidth.
-    device.rec_freq = flag(args, "--recfreq")
-        .map(|s| s.parse().map_err(|e| format!("--recfreq: {e}")))
+    // suite. Pass --recfreq 3200 for raw datasheet ICAP bandwidth. Applies
+    // to every fabric of a multi-fabric platform; omit it to keep the
+    // catalog's per-fabric throughputs.
+    if let Some(rf) = flag(args, "--recfreq")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("--recfreq: {e}")))
         .transpose()?
-        .unwrap_or(400);
+    {
+        for f in &mut platform.fabrics {
+            f.rec_freq = rf;
+        }
+    } else if platform.num_fabrics() == 1 {
+        platform.fabrics[0].rec_freq = 400;
+    }
     let cores: usize = flag(args, "--cores")
         .map(|s| s.parse().map_err(|e| format!("--cores: {e}")))
         .transpose()?
         .unwrap_or(2);
+    let architecture = if platform.num_fabrics() == 1 {
+        Architecture::new(cores, platform.fabrics.pop().expect("one fabric"))
+    } else {
+        Architecture::on_platform(cores, platform)
+    };
 
     // Optional communication costs: --comm <max> samples each edge cost
     // uniformly from [max/10, max] ticks (0 = the paper's base model).
@@ -172,11 +204,20 @@ fn generate(args: &[String]) -> Result<(), String> {
     let inst = TaskGraphGenerator::new(seed).generate(
         &format!("cli_t{tasks}_s{seed}"),
         &config,
-        Architecture::new(cores, device),
+        architecture,
     );
     inst.save(&out).map_err(|e| e.to_string())?;
+    let target = match &inst.architecture.platform {
+        Some(p) => format!(
+            "{} ({} fabrics, crossing {} ticks)",
+            p.name,
+            p.num_fabrics(),
+            p.crossing_latency
+        ),
+        None => inst.architecture.device.name.clone(),
+    };
     println!(
-        "wrote instance `{}`: {} tasks, {} edges, {} implementations -> {out}",
+        "wrote instance `{}` on {target}: {} tasks, {} edges, {} implementations -> {out}",
         inst.name,
         inst.graph.len(),
         inst.graph.edges.len(),
@@ -463,4 +504,29 @@ fn devices() {
             d.reconf_time(&d.max_res) as f64 / 1000.0,
         );
     }
+}
+
+fn platforms() {
+    for p in Platform::catalog() {
+        println!(
+            "{:14} {} fabrics, total {}, crossing latency {} ticks",
+            p.name,
+            p.num_fabrics(),
+            p.total_resources(),
+            p.crossing_latency,
+        );
+        for (f, d) in p.fabrics.iter().enumerate() {
+            let grid = d
+                .geometry
+                .as_ref()
+                .map(|g| format!("{} columns x {} rows", g.columns.len(), g.rows))
+                .unwrap_or_else(|| "no geometry".to_string());
+            println!(
+                "  fabric {f}: {:12} capacity {} | {grid}",
+                d.name, d.max_res
+            );
+        }
+    }
+    println!();
+    println!("single-device targets (1-fabric platforms): see `prfpga devices`");
 }

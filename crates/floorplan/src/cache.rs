@@ -218,6 +218,22 @@ impl FeasibilityCache {
         outcome
     }
 
+    /// [`Floorplanner::check_platform_cancel`] through the cache: one
+    /// memoized per-fabric query per occupied fabric. The canonical key
+    /// already fingerprints the fabric geometry, so identical demand sets
+    /// on different fabrics never collide.
+    pub fn check_platform_cancel(
+        &mut self,
+        platform: &prfpga_model::Platform,
+        demands: &[ResourceVec],
+        fabric_of: &[u32],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
+        crate::solver::check_platform_with(platform, demands, fabric_of, |device, sub| {
+            self.check_device_cancel(device, sub, cancel)
+        })
+    }
+
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         self.core.stats
@@ -276,6 +292,19 @@ impl SharedFeasibilityCache {
         let outcome = self.planner.check_device_cancel(device, demands, cancel);
         self.core.lock().insert(key, &outcome, &perm);
         outcome
+    }
+
+    /// See [`FeasibilityCache::check_platform_cancel`].
+    pub fn check_platform_cancel(
+        &self,
+        platform: &prfpga_model::Platform,
+        demands: &[ResourceVec],
+        fabric_of: &[u32],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
+        crate::solver::check_platform_with(platform, demands, fabric_of, |device, sub| {
+            self.check_device_cancel(device, sub, cancel)
+        })
     }
 
     /// Hit/miss counters so far, across all sharers.

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use prfpga_model::{CancelToken, Device, FabricGeometry, ResourceVec};
+use prfpga_model::{CancelToken, Device, FabricGeometry, Platform, ResourceVec};
 
 use crate::candidates::minimal_rects;
 use crate::rect::Rect;
@@ -102,6 +102,36 @@ impl Floorplanner {
             Some(geom) => self.solve_cancel(geom, demands, cancel),
             None => FloorplanOutcome::Feasible(vec![]),
         }
+    }
+
+    /// Per-fabric floorplanning of a platform: demand `i` must place on
+    /// fabric `fabric_of[i]`, each fabric solved independently on its own
+    /// geometry. Any infeasible fabric makes the platform infeasible, any
+    /// timeout propagates, and witnesses are stitched back into one
+    /// rectangle per region (dropped when an occupied fabric has no
+    /// geometry). On a 1-fabric platform this is verdict- and
+    /// witness-identical to [`Floorplanner::check_device`] on that fabric.
+    pub fn check_platform(
+        &self,
+        platform: &Platform,
+        demands: &[ResourceVec],
+        fabric_of: &[u32],
+    ) -> FloorplanOutcome {
+        self.check_platform_cancel(platform, demands, fabric_of, &CancelToken::never())
+    }
+
+    /// [`check_platform`](Self::check_platform) honouring a caller-supplied
+    /// [`CancelToken`].
+    pub fn check_platform_cancel(
+        &self,
+        platform: &Platform,
+        demands: &[ResourceVec],
+        fabric_of: &[u32],
+        cancel: &CancelToken,
+    ) -> FloorplanOutcome {
+        check_platform_with(platform, demands, fabric_of, |device, sub| {
+            self.check_device_cancel(device, sub, cancel)
+        })
     }
 
     /// Exact search for a disjoint placement of `demands` on `geometry`.
@@ -312,6 +342,57 @@ impl Floorplanner {
             out[*region_idx] = chosen[slot];
         }
         out
+    }
+}
+
+/// Per-fabric combination driver shared by [`Floorplanner`] and the
+/// feasibility caches: runs `check` once per fabric over that fabric's
+/// demands (kept in region order) and stitches the witness rectangles back
+/// into one rectangle per region. Any `Infeasible` fabric makes the
+/// platform infeasible; any `Timeout` propagates; witnesses are dropped
+/// (empty vector, matching the geometry-free device contract) as soon as
+/// one occupied fabric has no geometry.
+pub(crate) fn check_platform_with(
+    platform: &Platform,
+    demands: &[ResourceVec],
+    fabric_of: &[u32],
+    mut check: impl FnMut(&Device, &[ResourceVec]) -> FloorplanOutcome,
+) -> FloorplanOutcome {
+    assert_eq!(demands.len(), fabric_of.len(), "one fabric per demand");
+    let nf = platform.num_fabrics() as u32;
+    assert!(
+        fabric_of.iter().all(|&f| f < nf),
+        "demand assigned to a fabric outside the platform"
+    );
+    let mut out = vec![Rect::new(0, 1, 0, 1); demands.len()];
+    let mut witnesses = true;
+    for f in 0..nf {
+        let idx: Vec<usize> = fabric_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g == f)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let sub: Vec<ResourceVec> = idx.iter().map(|&i| demands[i]).collect();
+        match check(&platform.fabrics[f as usize], &sub) {
+            FloorplanOutcome::Feasible(rects) if rects.len() == idx.len() => {
+                for (&i, r) in idx.iter().zip(rects) {
+                    out[i] = r;
+                }
+            }
+            // A geometry-free fabric reports feasible with no witnesses.
+            FloorplanOutcome::Feasible(_) => witnesses = false,
+            FloorplanOutcome::Infeasible => return FloorplanOutcome::Infeasible,
+            FloorplanOutcome::Timeout => return FloorplanOutcome::Timeout,
+        }
+    }
+    if witnesses {
+        FloorplanOutcome::Feasible(out)
+    } else {
+        FloorplanOutcome::Feasible(vec![])
     }
 }
 

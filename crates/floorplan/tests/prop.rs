@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use prfpga_floorplan::{
     FeasibilityCache, FloorplanOutcome, Floorplanner, FloorplannerConfig, DEFAULT_CACHE_CAPACITY,
 };
-use prfpga_model::{Device, FabricColumn, FabricGeometry, ResourceVec};
+use prfpga_model::{Device, FabricColumn, FabricGeometry, Platform, ResourceVec};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -140,6 +140,29 @@ proptest! {
         }
         // Any permutation canonicalizes to the already-cached key.
         prop_assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// Degeneracy: per-fabric platform solving on a 1-fabric platform is
+    /// verdict- and witness-identical to the plain device solver on that
+    /// fabric — the platform path's grouping, sub-solving and witness
+    /// stitching must all collapse to the identity.
+    #[test]
+    fn one_fabric_platform_matches_device_solver(geom in arb_geometry(),
+        demands in arb_demands()) {
+        let device = Device {
+            name: "prop".into(),
+            max_res: geom.total_resources(),
+            bits_per_unit: [1, 1, 1],
+            rec_freq: 1,
+            geometry: Some(geom.clone()),
+        };
+        let via_device = planner().check_device(&device, &demands);
+        prop_assume!(!matches!(via_device, FloorplanOutcome::Timeout));
+
+        let platform = Platform::single(device);
+        let fabric_of = vec![0u32; demands.len()];
+        let via_platform = planner().check_platform(&platform, &demands, &fabric_of);
+        prop_assert_eq!(via_platform, via_device);
     }
 
     /// Single-region queries agree with the candidate enumeration: a lone

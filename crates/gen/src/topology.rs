@@ -93,7 +93,11 @@ impl TaskGraphGenerator {
     ) -> ProblemInstance {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ hash_name(name));
         let n = config.num_tasks;
-        let device_cap = architecture.device.max_res;
+        // Cap implementations at what the target accepts: the device
+        // capacity for a single fabric, the componentwise minimum over
+        // fabric capacities for a platform — so every generated module fits
+        // every fabric and the partition phase is never cornered.
+        let device_cap = architecture.impl_capacity();
 
         // --- implementations -------------------------------------------------
         let mut pool = ImplPool::new();
@@ -330,6 +334,27 @@ mod tests {
         };
         let inst = TaskGraphGenerator::new(5).generate("sp", &cfg, arch());
         assert!(Dag::from_taskgraph(&inst.graph).is_ok());
+    }
+
+    #[test]
+    fn multi_fabric_instances_fit_every_fabric() {
+        use prfpga_model::{ImplKind, Platform};
+        let platform = Platform::dual_zedboard();
+        let min_cap = platform.min_fabric_capacity();
+        let inst = TaskGraphGenerator::new(9).generate(
+            "mf",
+            &GraphConfig::standard(40),
+            Architecture::on_platform(2, platform),
+        );
+        assert!(inst.validate().is_ok());
+        for (_, im) in inst.impls.iter() {
+            if let ImplKind::Hardware(res) = &im.kind {
+                assert!(
+                    res.fits_in(&min_cap),
+                    "implementation exceeds the smallest fabric"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,25 +1,44 @@
-//! Target architecture: processor cores plus a reconfigurable device.
+//! Target architecture: processor cores plus one or more reconfigurable
+//! fabrics.
 
 use serde::{Deserialize, Serialize};
 
 use crate::device::Device;
+use crate::platform::Platform;
+use crate::resources::ResourceVec;
+use crate::time::Time;
 
 /// The SoC the application is scheduled onto: `|P|` homogeneous processor
 /// cores tightly coupled with a partially-reconfigurable FPGA, served by a
 /// single reconfiguration controller (so reconfigurations are serialized).
+///
+/// The optional [`platform`](Architecture::platform) field generalizes the
+/// target to several fabrics (SLRs or separate FPGAs, see [`Platform`]);
+/// when present, `device` is the platform's single-fabric relaxation (for a
+/// 1-fabric platform, exactly that fabric) and the per-fabric accessors
+/// below expose the real capacities.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Architecture {
     /// Number of homogeneous processor cores (`|P|`); the paper's target
-    /// (Zynq-7000) has two ARM Cortex-A9 cores.
+    /// (Zynq-7000) has two ARM Cortex-A9 cores. Cores form one shared host
+    /// pool regardless of fabric count — software tasks never pay the
+    /// inter-fabric crossing latency.
     pub num_processors: usize,
-    /// The reconfigurable device.
+    /// The reconfigurable device. With a multi-fabric `platform` this is
+    /// the sum-capacity relaxation used for coarse bounds; per-fabric code
+    /// paths go through [`Architecture::fabrics`].
     pub device: Device,
-    /// Number of reconfiguration controllers. The paper (and every real
-    /// Zynq) has exactly one; its ref. \[8\] generalizes to several, and the
-    /// schedulers and validator here support that generalization. Values
-    /// above 1 let that many reconfigurations proceed concurrently.
+    /// Number of reconfiguration controllers *per fabric*. The paper (and
+    /// every real Zynq) has exactly one; its ref. \[8\] generalizes to
+    /// several, and the schedulers and validator here support that
+    /// generalization. Values above 1 let that many reconfigurations
+    /// proceed concurrently on each fabric.
     #[serde(default = "default_controllers")]
     pub num_reconfig_controllers: usize,
+    /// Multi-fabric platform; `None` is the classic single-device path
+    /// (instances serialized before this field existed deserialize to
+    /// `None`).
+    pub platform: Option<Platform>,
 }
 
 fn default_controllers() -> usize {
@@ -34,6 +53,20 @@ impl Architecture {
             num_processors,
             device,
             num_reconfig_controllers: 1,
+            platform: None,
+        }
+    }
+
+    /// Builds an architecture targeting a [`Platform`]; `device` becomes
+    /// the platform's relaxation (for 1 fabric, the fabric itself, so the
+    /// schedulers behave byte-identically to [`Architecture::new`] on that
+    /// device).
+    pub fn on_platform(num_processors: usize, platform: Platform) -> Self {
+        Architecture {
+            num_processors,
+            device: platform.relaxation_device(),
+            num_reconfig_controllers: 1,
+            platform: Some(platform),
         }
     }
 
@@ -41,6 +74,52 @@ impl Architecture {
     pub fn with_reconfig_controllers(mut self, k: usize) -> Self {
         self.num_reconfig_controllers = k.max(1);
         self
+    }
+
+    /// Number of fabrics (1 when no platform is attached).
+    #[inline]
+    pub fn num_fabrics(&self) -> usize {
+        match &self.platform {
+            Some(p) => p.num_fabrics(),
+            None => 1,
+        }
+    }
+
+    /// The fabrics, as a slice of devices: the platform's fabrics, or the
+    /// lone `device` when no platform is attached.
+    #[inline]
+    pub fn fabrics(&self) -> &[Device] {
+        match &self.platform {
+            Some(p) => &p.fabrics,
+            None => std::slice::from_ref(&self.device),
+        }
+    }
+
+    /// The device describing fabric `f`.
+    #[inline]
+    pub fn fabric(&self, f: usize) -> &Device {
+        &self.fabrics()[f]
+    }
+
+    /// Latency added to data edges crossing fabrics (0 without a platform —
+    /// and with a single fabric no edge can cross).
+    #[inline]
+    pub fn crossing_latency(&self) -> Time {
+        match &self.platform {
+            Some(p) => p.crossing_latency,
+            None => 0,
+        }
+    }
+
+    /// The largest hardware implementation the target accepts: on a
+    /// platform, the componentwise minimum over fabric capacities (so every
+    /// implementation fits on every fabric and partitioning is never
+    /// cornered); otherwise the device capacity.
+    pub fn impl_capacity(&self) -> ResourceVec {
+        match &self.platform {
+            Some(p) => p.min_fabric_capacity(),
+            None => self.device.max_res,
+        }
     }
 
     /// The paper's evaluation platform: ZedBoard (dual Cortex-A9 + XC7Z020)
@@ -72,5 +151,45 @@ mod tests {
         let a = Architecture::zedboard();
         assert_eq!(a.num_processors, 2);
         assert_eq!(a.device.name, "xc7z020");
+        assert_eq!(a.num_fabrics(), 1);
+        assert_eq!(a.crossing_latency(), 0);
+        assert_eq!(a.fabric(0), &a.device);
+        assert_eq!(a.impl_capacity(), a.device.max_res);
+    }
+
+    #[test]
+    fn single_fabric_platform_matches_bare_device() {
+        let bare = Architecture::zedboard();
+        let wrapped = Architecture::on_platform(2, Platform::single(Device::xc7z020()));
+        // The relaxation of a 1-fabric platform is the fabric itself.
+        assert_eq!(wrapped.device, bare.device);
+        assert_eq!(wrapped.num_fabrics(), 1);
+        assert_eq!(wrapped.fabric(0), &bare.device);
+        assert_eq!(wrapped.crossing_latency(), 0);
+        assert_eq!(wrapped.impl_capacity(), bare.device.max_res);
+    }
+
+    #[test]
+    fn multi_fabric_accessors() {
+        let a = Architecture::on_platform(2, Platform::dual_zedboard());
+        assert_eq!(a.num_fabrics(), 2);
+        assert_eq!(a.crossing_latency(), 50);
+        assert_eq!(
+            a.device.max_res,
+            Platform::dual_zedboard().total_resources()
+        );
+        assert_eq!(a.impl_capacity(), a.fabric(0).max_res);
+    }
+
+    #[test]
+    fn missing_platform_field_deserializes_to_none() {
+        // An instance serialized before the platform field existed: strip
+        // the trailing `"platform":null` from a compact serialization.
+        let json = serde_json::to_string(&Architecture::zedboard()).unwrap();
+        let legacy = json.replace(",\"platform\":null", "");
+        assert_ne!(json, legacy, "expected to strip the platform field");
+        let a: Architecture = serde_json::from_str(&legacy).unwrap();
+        assert!(a.platform.is_none());
+        assert_eq!(a, Architecture::zedboard());
     }
 }

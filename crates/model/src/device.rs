@@ -11,10 +11,14 @@
 //!   whether a set of reconfigurable regions admits a feasible placement.
 //!
 //! The catalog constructors ([`Device::xc7z020`] etc.) approximate real
-//! Xilinx 7-series parts. Bit costs are derived from the 7-series frame
-//! structure (101 words x 32 bits per frame) and the frame counts per column
-//! reported by Vipin & Fahmy (ARC 2012, paper ref. \[14\]); they are estimates,
-//! which is all eq. 1 requires.
+//! single-die Xilinx 7-series parts; multi-fabric targets (SLR-style parts,
+//! multi-FPGA boards) live in the platform catalog —
+//! [`Platform::alveo_u250`](crate::platform::Platform::alveo_u250) and
+//! [`Platform::dual_zedboard`](crate::platform::Platform::dual_zedboard) —
+//! where a `Device` describes one fabric. Bit costs are derived from the
+//! 7-series frame structure (101 words x 32 bits per frame) and the frame
+//! counts per column reported by Vipin & Fahmy (ARC 2012, paper ref.
+//! \[14\]); they are estimates, which is all eq. 1 requires.
 
 use serde::{Deserialize, Serialize};
 

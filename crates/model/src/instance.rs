@@ -46,14 +46,16 @@ impl ProblemInstance {
     ///   implementation sets);
     /// * every referenced implementation exists;
     /// * every task has a software fallback (§III);
-    /// * no hardware implementation exceeds the device capacity;
+    /// * no hardware implementation exceeds every fabric's capacity (it
+    ///   must fit on at least one fabric; on a single-device target that is
+    ///   the device capacity);
     /// * at least one processor core exists.
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.architecture.num_processors == 0 {
             return Err(ModelError::NoProcessors);
         }
         self.graph.validate_structure()?;
-        let cap = self.architecture.device.max_res;
+        let fabrics = self.architecture.fabrics();
         for (ti, task) in self.graph.tasks.iter().enumerate() {
             let mut has_sw = false;
             for &iid in &task.impls {
@@ -66,7 +68,7 @@ impl ProblemInstance {
                     })?;
                 if imp.is_software() {
                     has_sw = true;
-                } else if !imp.resources().fits_in(&cap) {
+                } else if !fabrics.iter().any(|d| imp.resources().fits_in(&d.max_res)) {
                     return Err(ModelError::ImplementationTooLarge {
                         task: ti as u32,
                         impl_id: iid.0,

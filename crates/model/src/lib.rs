@@ -10,6 +10,9 @@
 //!   resources of the FPGA fabric (CLB, BRAM, DSP);
 //! * [`Device`] — a partially-reconfigurable FPGA device with per-resource
 //!   capacities, bitstream cost model and fabric geometry;
+//! * [`Platform`] — one or more fabrics (SLRs or separate FPGAs) with an
+//!   inter-fabric link cost model; a 1-fabric platform is exactly a
+//!   [`Device`];
 //! * [`Implementation`] — a hardware or software realization of a task with
 //!   an execution time and (for hardware) a resource requirement;
 //! * [`TaskGraph`] — the application DAG;
@@ -30,6 +33,7 @@ pub mod error;
 pub mod event;
 pub mod implementation;
 pub mod instance;
+pub mod platform;
 pub mod resources;
 pub mod schedule;
 pub mod taskgraph;
@@ -42,6 +46,7 @@ pub use error::ModelError;
 pub use event::{EventTrace, ScheduleEvent};
 pub use implementation::{ImplId, ImplKind, ImplPool, Implementation};
 pub use instance::ProblemInstance;
+pub use platform::{FabricId, Platform};
 pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};
 pub use schedule::{Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment};
 pub use taskgraph::{EdgeId, TaskGraph, TaskId, TaskNode};

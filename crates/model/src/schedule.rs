@@ -31,6 +31,11 @@ impl RegionId {
 pub struct Region {
     /// Per-kind resource budget of the region.
     pub res: ResourceVec,
+    /// Fabric hosting the region (index into the platform's fabrics; always
+    /// 0 on a single-device target — schedules serialized before platforms
+    /// existed deserialize to 0).
+    #[serde(default)]
+    pub fabric: u32,
 }
 
 /// Where a task executes.
@@ -158,10 +163,28 @@ impl Schedule {
         out
     }
 
-    /// Total fabric resources claimed by all regions together; must fit in
-    /// the device capacity.
+    /// Total fabric resources claimed by all regions together. Only
+    /// meaningful as a capacity bound on single-fabric targets (where it is
+    /// exactly [`Schedule::region_resources_on`] fabric 0); multi-fabric
+    /// capacity checks go per fabric.
     pub fn total_region_resources(&self) -> ResourceVec {
         self.regions.iter().map(|r| r.res).sum()
+    }
+
+    /// Resources claimed by the regions hosted on fabric `f`; must fit in
+    /// that fabric's capacity.
+    pub fn region_resources_on(&self, f: u32) -> ResourceVec {
+        self.regions
+            .iter()
+            .filter(|r| r.fabric == f)
+            .map(|r| r.res)
+            .sum()
+    }
+
+    /// One past the highest fabric index any region uses (1 for a schedule
+    /// with no regions, matching the single-fabric default).
+    pub fn fabric_span(&self) -> u32 {
+        self.regions.iter().map(|r| r.fabric + 1).max().unwrap_or(1)
     }
 
     /// Number of hardware tasks (tasks placed in a region).
@@ -187,9 +210,11 @@ mod tests {
             regions: vec![
                 Region {
                     res: ResourceVec::new(10, 1, 0),
+                    fabric: 0,
                 },
                 Region {
                     res: ResourceVec::new(4, 0, 2),
+                    fabric: 1,
                 },
             ],
             assignments: vec![
@@ -244,5 +269,20 @@ mod tests {
         assert_eq!(s.total_region_resources(), ResourceVec::new(14, 1, 2));
         assert_eq!(s.total_reconfiguration_time(), 17);
         assert_eq!(s.assignment(TaskId(1)).duration(), 20);
+    }
+
+    #[test]
+    fn per_fabric_resources() {
+        let s = sched();
+        assert_eq!(s.region_resources_on(0), ResourceVec::new(10, 1, 0));
+        assert_eq!(s.region_resources_on(1), ResourceVec::new(4, 0, 2));
+        assert_eq!(s.region_resources_on(2), ResourceVec::ZERO);
+        assert_eq!(s.fabric_span(), 2);
+        assert_eq!(Schedule::default().fabric_span(), 1);
+        // Per-fabric sums partition the global total.
+        assert_eq!(
+            s.region_resources_on(0) + s.region_resources_on(1),
+            s.total_region_resources()
+        );
     }
 }

@@ -39,8 +39,7 @@ pub(crate) fn commit_batch(
     module_reuse: bool,
     icap: &mut Timeline,
 ) -> Schedule {
-    let k = state.inst.architecture.num_reconfig_controllers.max(1);
-    icap.reset(0, 0, k);
+    icap.reset(0, 0, state.controller_lanes());
     icap.checkpoint(BATCH_CHECKPOINT);
     let schedule = reconf::realize_schedule_prepared(state, module_reuse, icap);
     let edits = icap

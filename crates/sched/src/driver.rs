@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use prfpga_floorplan::{
     FeasibilityCache, FloorplanOutcome, Floorplanner, Rect, DEFAULT_CACHE_CAPACITY,
 };
-use prfpga_model::{CancelToken, Device, ProblemInstance, ResourceVec, Schedule};
+use prfpga_model::{CancelToken, Device, Platform, ProblemInstance, ResourceVec, Schedule};
 
 use prfpga_model::ImplId;
 
@@ -15,7 +15,7 @@ use crate::commit;
 use crate::config::{OrderingPolicy, SchedulerConfig};
 use crate::error::SchedError;
 use crate::metrics::MetricWeights;
-use crate::phases::{impl_select, reconf, regions, sw_balance, sw_map};
+use crate::phases::{impl_select, partition, reconf, regions, sw_balance, sw_map};
 use crate::state::{SchedState, SchedWorkspace};
 use crate::trace::{ObserverHandle, Phase, PhaseTrace, TraceRecorder};
 
@@ -132,9 +132,13 @@ impl PaScheduler {
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
 
         let real_device = &inst.architecture.device;
+        let real_platform = inst.architecture.platform.as_ref();
         // One owned device, ratcheted down in place — the restart loop no
-        // longer clones name/geometry per attempt.
+        // longer clones name/geometry per attempt. On platform instances a
+        // virtual platform shadows it in lockstep, so the per-fabric
+        // capacity checks shrink together with the relaxation device.
         let mut virtual_device = real_device.clone();
+        let mut virtual_platform = inst.architecture.platform.clone();
         let mut scheduling_time = Duration::ZERO;
         let mut floorplanning_time = Duration::ZERO;
         let recorder = Arc::new(TraceRecorder::new());
@@ -151,23 +155,32 @@ impl PaScheduler {
             .workspace_reuse
             .then(|| FeasibilityCache::new(self.planner.clone(), DEFAULT_CACHE_CAPACITY));
 
-        let run_pipeline = |ws: &mut SchedWorkspace, device: &Device| {
-            if self.config.workspace_reuse {
-                // No memo here: the restart loop shrinks the capacity on
-                // every retry, so no two attempts share a phase-A input.
-                do_schedule_in(
-                    ws,
-                    inst,
-                    device,
-                    &self.config,
-                    self.config.ordering,
-                    &observer,
-                    None,
-                )
-            } else {
-                do_schedule_traced(inst, device, &self.config, self.config.ordering, &observer)
-            }
-        };
+        let run_pipeline =
+            |ws: &mut SchedWorkspace, device: &Device, platform: Option<&Platform>| {
+                if self.config.workspace_reuse {
+                    // No memo here: the restart loop shrinks the capacity on
+                    // every retry, so no two attempts share a phase-A input.
+                    do_schedule_in(
+                        ws,
+                        inst,
+                        device,
+                        platform,
+                        &self.config,
+                        self.config.ordering,
+                        &observer,
+                        None,
+                    )
+                } else {
+                    do_schedule_traced(
+                        inst,
+                        device,
+                        platform,
+                        &self.config,
+                        self.config.ordering,
+                        &observer,
+                    )
+                }
+            };
         let report_stats = |ws: &SchedWorkspace, cache: &Option<FeasibilityCache>| {
             let stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
             observer.workspace_stats(ws.reuses(), stats.hits, stats.misses);
@@ -187,7 +200,7 @@ impl PaScheduler {
                 observer.pipeline_started(attempt);
                 runs = attempt;
                 let t0 = Instant::now();
-                let schedule = run_pipeline(ws, &virtual_device);
+                let schedule = run_pipeline(ws, &virtual_device, virtual_platform.as_ref());
                 scheduling_time += t0.elapsed();
 
                 // Poll before paying for the floorplanner: a deadline that
@@ -198,14 +211,21 @@ impl PaScheduler {
                     break 'search;
                 }
                 let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
+                let fabrics: Vec<u32> = schedule.regions.iter().map(|r| r.fabric).collect();
                 let t1 = Instant::now();
                 // Memoized feasibility: within one call only Infeasible
                 // verdicts can repeat (a Feasible one would have ended the
                 // loop), so any Feasible witness returned below comes from a
-                // cold solve — byte-identical to the uncached path.
-                let outcome = match cache.as_mut() {
-                    Some(c) => c.check_device_cancel(real_device, &demands, cancel),
-                    None => self
+                // cold solve — byte-identical to the uncached path. Platform
+                // instances place each fabric's regions against that
+                // fabric's own device.
+                let outcome = match (cache.as_mut(), real_platform) {
+                    (Some(c), Some(p)) => c.check_platform_cancel(p, &demands, &fabrics, cancel),
+                    (Some(c), None) => c.check_device_cancel(real_device, &demands, cancel),
+                    (None, Some(p)) => self
+                        .planner
+                        .check_platform_cancel(p, &demands, &fabrics, cancel),
+                    (None, None) => self
                         .planner
                         .check_device_cancel(real_device, &demands, cancel),
                 };
@@ -234,6 +254,9 @@ impl PaScheduler {
                 }
                 let (num, den) = self.config.shrink_factor;
                 virtual_device.scale_capacity_in_place(num, den);
+                if let Some(p) = virtual_platform.as_mut() {
+                    p.scale_capacity_in_place(num, den);
+                }
             }
         }
 
@@ -245,7 +268,10 @@ impl PaScheduler {
         observer.pipeline_started(attempts);
         let t0 = Instant::now();
         virtual_device.max_res = ResourceVec::ZERO;
-        let schedule = run_pipeline(ws, &virtual_device);
+        if let Some(p) = virtual_platform.as_mut() {
+            p.zero_capacity_in_place();
+        }
+        let schedule = run_pipeline(ws, &virtual_device, virtual_platform.as_ref());
         scheduling_time += t0.elapsed();
         debug_assert!(schedule.regions.is_empty());
         report_stats(ws, &cache);
@@ -267,12 +293,14 @@ impl PaScheduler {
 pub(crate) fn do_schedule(
     inst: &ProblemInstance,
     virtual_device: &Device,
+    virtual_platform: Option<&Platform>,
     config: &SchedulerConfig,
     ordering: OrderingPolicy,
 ) -> Schedule {
     do_schedule_traced(
         inst,
         virtual_device,
+        virtual_platform,
         config,
         ordering,
         &ObserverHandle::noop(),
@@ -285,6 +313,7 @@ pub(crate) fn do_schedule(
 pub(crate) fn do_schedule_traced(
     inst: &ProblemInstance,
     virtual_device: &Device,
+    virtual_platform: Option<&Platform>,
     config: &SchedulerConfig,
     ordering: OrderingPolicy,
     observer: &ObserverHandle,
@@ -294,6 +323,7 @@ pub(crate) fn do_schedule_traced(
         &mut ws,
         inst,
         virtual_device,
+        virtual_platform,
         config,
         ordering,
         observer,
@@ -312,16 +342,27 @@ pub(crate) fn do_schedule_traced(
 /// realization is applied — as one journaled batch commit behind
 /// [`SchedulerConfig::solve_commit`], directly otherwise. Identical
 /// schedules either way; the seam exists for the online repair engine.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn do_schedule_in(
     ws: &mut SchedWorkspace,
     inst: &ProblemInstance,
     virtual_device: &Device,
+    virtual_platform: Option<&Platform>,
     config: &SchedulerConfig,
     ordering: OrderingPolicy,
     observer: &ObserverHandle,
     memo: Option<&mut ImplSelectMemo>,
 ) -> Schedule {
-    let state = solve_in(ws, inst, virtual_device, config, ordering, observer, memo);
+    let state = solve_in(
+        ws,
+        inst,
+        virtual_device,
+        virtual_platform,
+        config,
+        ordering,
+        observer,
+        memo,
+    );
 
     // Phase G — reconfiguration scheduling / timing realization: the only
     // point where decisions become timeline reservations (the commit).
@@ -338,10 +379,12 @@ pub(crate) fn do_schedule_in(
 /// the [`SchedState`] it returns — implementation choices, regions,
 /// sequencing arcs, core mappings — and reserves nothing on the controller
 /// timeline; the caller owns the commit (phase G).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_in<'a>(
     ws: &mut SchedWorkspace,
     inst: &'a ProblemInstance,
     virtual_device: &'a Device,
+    virtual_platform: Option<&'a Platform>,
     config: &SchedulerConfig,
     ordering: OrderingPolicy,
     observer: &ObserverHandle,
@@ -395,12 +438,17 @@ pub(crate) fn solve_in<'a>(
     .expect("instance validated by the driver");
     observer.phase_finished(Phase::CriticalPath, t0.elapsed());
     state.module_reuse = config.module_reuse;
+    state.platform = virtual_platform;
     state.observer = observer.clone();
     // The workspace-reuse fast path also maintains CPM incrementally per
     // mutation instead of recomputing from scratch; identical windows
     // either way, so `workspace_reuse: false` stays a faithful
     // fresh-allocation oracle for the differential tests.
     state.incremental = config.workspace_reuse;
+
+    // Fabric partition — assigns tasks to platform fabrics ahead of region
+    // formation (no-op, and untraced, without a platform).
+    partition::partition_tasks(&mut state);
 
     // Phase C — regions definition.
     regions::define_regions(&mut state, ordering);

@@ -7,6 +7,7 @@
 //! [`SchedState`]: crate::state::SchedState
 
 pub mod impl_select;
+pub mod partition;
 pub mod reconf;
 pub mod regions;
 pub mod sw_balance;

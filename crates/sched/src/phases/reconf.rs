@@ -34,6 +34,7 @@ use crate::trace::Phase;
 #[derive(Debug, Clone, Copy)]
 struct PlannedRec {
     region: usize,
+    fabric: u32,
     t_in: TaskId,
     t_out: TaskId,
     duration: Time,
@@ -58,8 +59,7 @@ pub fn realize_schedule_in(
     module_reuse: bool,
     icap: &mut Timeline,
 ) -> Schedule {
-    let k = state.inst.architecture.num_reconfig_controllers.max(1);
-    icap.reset(0, 0, k);
+    icap.reset(0, 0, state.controller_lanes());
     realize_schedule_prepared(state, module_reuse, icap)
 }
 
@@ -91,6 +91,7 @@ pub(crate) fn realize_schedule_prepared(
             }
             planned.push(PlannedRec {
                 region: s,
+                fabric: region.fabric,
                 t_in: pair[0],
                 t_out: pair[1],
                 duration: dur,
@@ -120,20 +121,26 @@ pub(crate) fn realize_schedule_prepared(
             add(&mut succs, &mut pend, v as usize, u as usize, 0);
         }
     }
-    // ...plus a lagged copy of every costed data arc whose endpoints are
-    // not co-located (the communication-cost extension; all-zero costs in
-    // the paper's base model make this a no-op).
+    // ...plus a lagged copy of every data arc whose endpoints are not
+    // co-located (the communication-cost extension; all-zero costs in the
+    // paper's base model make this a no-op) or whose region endpoints sit
+    // on different fabrics (the inter-fabric link pays the platform's
+    // crossing latency on top of the data cost).
     for (from, to, cost) in state.inst.graph.edges_with_costs() {
-        if cost == 0 {
-            continue;
-        }
-        let colocated = match (state.region_of[from.index()], state.region_of[to.index()]) {
+        let (pf, pt) = (state.region_of[from.index()], state.region_of[to.index()]);
+        let colocated = match (pf, pt) {
             (Some(a), Some(b)) => a == b,
             (None, None) => state.core_of[from.index()] == state.core_of[to.index()],
             _ => false,
         };
-        if !colocated {
-            add(&mut succs, &mut pend, from.index(), to.index(), cost);
+        let mut lag = if colocated { 0 } else { cost };
+        if let (Some(a), Some(b)) = (pf, pt) {
+            if state.regions[a].fabric != state.regions[b].fabric {
+                lag += state.crossing_latency();
+            }
+        }
+        if lag > 0 {
+            add(&mut succs, &mut pend, from.index(), to.index(), lag);
         }
     }
     for (ri, r) in planned.iter().enumerate() {
@@ -156,10 +163,12 @@ pub(crate) fn realize_schedule_prepared(
         }
     }
     // One controller lane per reconfiguration controller (one in the
-    // paper's model; its ref. \[8\] generalizes to several). Arbitration
-    // is clock-style — `controller_next_free`, never a gap backfill — so
+    // paper's model; its ref. \[8\] generalizes to several), grouped per
+    // fabric: fabric `f` owns lanes `[f*k, f*k+k)`. Arbitration is
+    // clock-style — `controller_next_free_in`, never a gap backfill — so
     // the event-driven pass keeps its fixed-point semantics. The caller
     // reset the lanes before this pass.
+    let k = state.inst.architecture.num_reconfig_controllers.max(1);
     let mut scheduled = 0usize;
 
     while scheduled < total {
@@ -187,7 +196,8 @@ pub(crate) fn realize_schedule_prepared(
         // controller.
         if let Some(Reverse((_, release, ri))) = icap_ready.pop() {
             let node = n + ri as usize;
-            let (ctrl, free) = icap.controller_next_free();
+            let fabric = planned[ri as usize].fabric as usize;
+            let (ctrl, free) = icap.controller_next_free_in(fabric * k, k);
             let s = free.max(release);
             start[node] = s;
             done_time[node] = s + durations[node];
@@ -217,7 +227,10 @@ pub(crate) fn realize_schedule_prepared(
     let regions: Vec<Region> = state
         .regions
         .iter()
-        .map(|r| Region { res: r.res })
+        .map(|r| Region {
+            res: r.res,
+            fabric: r.fabric,
+        })
         .collect();
     let assignments: Vec<TaskAssignment> = (0..n)
         .map(|i| {

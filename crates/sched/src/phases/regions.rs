@@ -85,18 +85,21 @@ pub fn define_regions(state: &mut SchedState<'_>, ordering: OrderingPolicy) {
 /// else open a new one, else fall back to software.
 fn place_critical(state: &mut SchedState<'_>, t: TaskId) {
     let res = state.chosen_res(t);
+    let fabric = state.fabric_of[t.index()];
     let candidate = (0..state.regions.len())
         .filter_map(|s| region_eligible(state, t, s, true).map(|imp| (s, imp)))
         .min_by_key(|&(s, imp)| {
             (
                 !reuses_module(state, t, s, imp),
-                state.device.bitstream_bits(&state.regions[s].res),
+                state
+                    .fabric_device(state.regions[s].fabric)
+                    .bitstream_bits(&state.regions[s].res),
                 s,
             )
         });
     if let Some((s, imp)) = candidate {
         state.assign_to_region(t, imp, s);
-    } else if (state.used_resources() + res).fits_in(&state.device.max_res) {
+    } else if (state.used_resources_on(fabric) + res).fits_in(&state.fabric_cap(fabric)) {
         let imp = state.impl_choice[t.index()];
         state.open_region(t, imp);
     } else {
@@ -108,7 +111,8 @@ fn place_critical(state: &mut SchedState<'_>, t: TaskId) {
 /// utilization), else reuse a compatible one, else fall back to software.
 fn place_non_critical(state: &mut SchedState<'_>, t: TaskId) {
     let res = state.chosen_res(t);
-    if (state.used_resources() + res).fits_in(&state.device.max_res) {
+    let fabric = state.fabric_of[t.index()];
+    if (state.used_resources_on(fabric) + res).fits_in(&state.fabric_cap(fabric)) {
         let imp = state.impl_choice[t.index()];
         state.open_region(t, imp);
         return;
@@ -118,7 +122,9 @@ fn place_non_critical(state: &mut SchedState<'_>, t: TaskId) {
         .min_by_key(|&(s, imp)| {
             (
                 !reuses_module(state, t, s, imp),
-                state.device.bitstream_bits(&state.regions[s].res),
+                state
+                    .fabric_device(state.regions[s].fabric)
+                    .bitstream_bits(&state.regions[s].res),
                 s,
             )
         });
@@ -150,6 +156,8 @@ fn reuses_module(state: &SchedState<'_>, t: TaskId, s: usize, imp: prfpga_model:
 /// exercises when it hoists software tasks into regions. A region is
 /// eligible when:
 ///
+/// * the region is hosted on `t`'s assigned fabric (always true without a
+///   multi-fabric platform);
 /// * some hardware implementation of `t` fits the region budget;
 /// * no hosted task's occupancy overlaps `t`'s planned occupancy (under
 ///   the implementation considered);
@@ -165,6 +173,9 @@ pub(crate) fn region_eligible(
     require_reconf_gap: bool,
 ) -> Option<prfpga_model::ImplId> {
     let region = &state.regions[s];
+    if region.fabric != state.fabric_of[t.index()] {
+        return None;
+    }
     // Pick the implementation this region would host: the current choice
     // if it fits, otherwise the cheapest fitting hardware variant.
     let chosen = state.impl_choice[t.index()];

@@ -64,6 +64,10 @@ pub fn balance_software_tasks(state: &mut SchedState<'_>) -> usize {
 fn best_hosting(state: &SchedState<'_>, t: TaskId) -> Option<(usize, prfpga_model::ImplId)> {
     let mut best: Option<(u64, usize, prfpga_model::ImplId)> = None;
     for s in 0..state.regions.len() {
+        // Only regions on the task's assigned fabric can host it.
+        if state.regions[s].fabric != state.fabric_of[t.index()] {
+            continue;
+        }
         // Cheapest HW implementation fitting region s.
         let imp = state
             .inst
@@ -93,7 +97,9 @@ fn best_hosting(state: &SchedState<'_>, t: TaskId) -> Option<(usize, prfpga_mode
         if !hosting_compatible(state, t, s, imp) {
             continue;
         }
-        let bits = state.device.bitstream_bits(&state.regions[s].res);
+        let bits = state
+            .fabric_device(state.regions[s].fabric)
+            .bitstream_bits(&state.regions[s].res);
         if best.is_none_or(|(b, ..)| bits < b) {
             best = Some((bits, s, imp));
         }

@@ -145,6 +145,7 @@ impl PaRScheduler {
         // iterations schedule against a shrunken virtual capacity — the
         // same lever the deterministic PA's restart loop uses (§V-H).
         let mut virtual_device = inst.architecture.device.clone();
+        let mut virtual_platform = inst.architecture.platform.clone();
         let mut shrinks_left = self.config.max_attempts.max(1);
         let start = Instant::now();
         let deadline = start + self.config.time_budget;
@@ -185,22 +186,37 @@ impl PaRScheduler {
                     ws,
                     inst,
                     &virtual_device,
+                    virtual_platform.as_ref(),
                     &self.config,
                     ordering,
                     &noop,
                     Some(&mut memo),
                 )
             } else {
-                do_schedule(inst, &virtual_device, &self.config, ordering)
+                do_schedule(
+                    inst,
+                    &virtual_device,
+                    virtual_platform.as_ref(),
+                    &self.config,
+                    ordering,
+                )
             };
             let makespan = schedule.makespan();
             if makespan < best_makespan {
                 // Pay for the floorplanner only on improvement (Algorithm 1).
                 let demands: Vec<ResourceVec> = schedule.regions.iter().map(|r| r.res).collect();
-                let outcome = if reuse {
-                    cache.check_device_cancel(&inst.architecture.device, &demands, cancel)
-                } else {
-                    planner.check_device_cancel(&inst.architecture.device, &demands, cancel)
+                let fabrics: Vec<u32> = schedule.regions.iter().map(|r| r.fabric).collect();
+                let outcome = match (reuse, inst.architecture.platform.as_ref()) {
+                    (true, Some(p)) => cache.check_platform_cancel(p, &demands, &fabrics, cancel),
+                    (true, None) => {
+                        cache.check_device_cancel(&inst.architecture.device, &demands, cancel)
+                    }
+                    (false, Some(p)) => {
+                        planner.check_platform_cancel(p, &demands, &fabrics, cancel)
+                    }
+                    (false, None) => {
+                        planner.check_device_cancel(&inst.architecture.device, &demands, cancel)
+                    }
                 };
                 if let FloorplanOutcome::Feasible(_) = outcome {
                     best_makespan = makespan;
@@ -221,6 +237,9 @@ impl PaRScheduler {
                     if shrinks_left > 0 {
                         let (num, den) = self.config.shrink_factor;
                         virtual_device.scale_capacity_in_place(num, den);
+                        if let Some(p) = virtual_platform.as_mut() {
+                            p.scale_capacity_in_place(num, den);
+                        }
                         shrinks_left -= 1;
                     }
                 }
@@ -331,6 +350,7 @@ impl PaRScheduler {
                         ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(w as u64 * 0x9E37));
                     // Per-worker capacity ratchet (see schedule_detailed).
                     let mut virtual_device = inst.architecture.device.clone();
+                    let mut virtual_platform = inst.architecture.platform.clone();
                     let mut shrinks_left = config.max_attempts.max(1);
                     let mut ws = SchedWorkspace::new();
                     let mut memo = ImplSelectMemo::default();
@@ -354,30 +374,44 @@ impl PaRScheduler {
                                 &mut ws,
                                 inst,
                                 &virtual_device,
+                                virtual_platform.as_ref(),
                                 config,
                                 ordering,
                                 &noop,
                                 Some(&mut memo),
                             )
                         } else {
-                            do_schedule(inst, &virtual_device, config, ordering)
+                            do_schedule(
+                                inst,
+                                &virtual_device,
+                                virtual_platform.as_ref(),
+                                config,
+                                ordering,
+                            )
                         };
                         let makespan = schedule.makespan();
                         if makespan < best.lock().0 {
                             let demands: Vec<ResourceVec> =
                                 schedule.regions.iter().map(|r| r.res).collect();
-                            let outcome = if reuse {
-                                cache.check_device_cancel(
+                            let fabrics: Vec<u32> =
+                                schedule.regions.iter().map(|r| r.fabric).collect();
+                            let outcome = match (reuse, inst.architecture.platform.as_ref()) {
+                                (true, Some(p)) => {
+                                    cache.check_platform_cancel(p, &demands, &fabrics, cancel)
+                                }
+                                (true, None) => cache.check_device_cancel(
                                     &inst.architecture.device,
                                     &demands,
                                     cancel,
-                                )
-                            } else {
-                                planner.check_device_cancel(
+                                ),
+                                (false, Some(p)) => {
+                                    planner.check_platform_cancel(p, &demands, &fabrics, cancel)
+                                }
+                                (false, None) => planner.check_device_cancel(
                                     &inst.architecture.device,
                                     &demands,
                                     cancel,
-                                )
+                                ),
                             };
                             if let FloorplanOutcome::Feasible(_) = outcome {
                                 let mut guard = best.lock();
@@ -387,6 +421,9 @@ impl PaRScheduler {
                             } else if shrinks_left > 0 {
                                 let (num, den) = config.shrink_factor;
                                 virtual_device.scale_capacity_in_place(num, den);
+                                if let Some(p) = virtual_platform.as_mut() {
+                                    p.scale_capacity_in_place(num, den);
+                                }
                                 shrinks_left -= 1;
                             }
                         }

@@ -658,33 +658,37 @@ impl RepairEngine {
             }
         }
 
-        // Controller lanes: replay the untouched reconfigurations into k
-        // lanes (greedy interval packing — it cannot fail on windows that
-        // came from a k-lane schedule), then place the frontier's into the
-        // remaining gaps under a journal checkpoint.
+        // Controller lanes: replay the untouched reconfigurations into each
+        // fabric's k-lane group (greedy interval packing — it cannot fail
+        // on windows that came from a k-lane-per-fabric schedule), then
+        // place the frontier's into the remaining gaps under a journal
+        // checkpoint. Fabric `f` owns lanes `[f*k, f*k+k)`.
         let k = self.inst.architecture.num_reconfig_controllers.max(1);
+        let nf = self.inst.architecture.num_fabrics();
         let mut edits = 0usize;
         if !f_recs.is_empty() {
-            self.icap.reset(0, 0, k);
-            let fixed: Vec<u32> = (0..self.recs.len() as u32)
-                .filter(|&ri| !rec_in_f[ri as usize])
-                .collect();
-            let windows: Vec<TimeWindow> = fixed
-                .iter()
-                .map(|&ri| {
-                    let r = &self.schedule.reconfigurations[ri as usize];
-                    TimeWindow::new(r.start, r.end)
-                })
-                .collect();
-            for (w, lane) in windows.iter().zip(prfpga_timeline::pack_lanes(&windows, k)) {
-                self.icap
-                    .reserve(LaneId::controller(lane), *w)
-                    .map_err(|_| {
-                        RepairError::InvalidBaseline(
-                            "committed reconfigurations overlap beyond the controller count"
-                                .to_string(),
-                        )
-                    })?;
+            self.icap.reset(0, 0, nf * k);
+            for f in 0..nf as u32 {
+                let fixed: Vec<u32> = (0..self.recs.len() as u32)
+                    .filter(|&ri| !rec_in_f[ri as usize] && self.rec_fabric(ri) == f)
+                    .collect();
+                let windows: Vec<TimeWindow> = fixed
+                    .iter()
+                    .map(|&ri| {
+                        let r = &self.schedule.reconfigurations[ri as usize];
+                        TimeWindow::new(r.start, r.end)
+                    })
+                    .collect();
+                for (w, lane) in windows.iter().zip(prfpga_timeline::pack_lanes(&windows, k)) {
+                    self.icap
+                        .reserve(LaneId::controller(f as usize * k + lane), *w)
+                        .map_err(|_| {
+                            RepairError::InvalidBaseline(
+                                "committed reconfigurations overlap beyond the controller count"
+                                    .to_string(),
+                            )
+                        })?;
+                }
             }
             self.icap.checkpoint(REPAIR_CHECKPOINT);
         }
@@ -742,10 +746,11 @@ impl RepairEngine {
             if let Some(Reverse((_, release, ri))) = ready_recs.pop() {
                 let rec = &self.schedule.reconfigurations[ri as usize];
                 let dur = rec.end - rec.start;
-                // Argmin over lanes of the earliest gap fitting the
-                // reconfiguration, ties to the lowest lane.
-                let mut best = (Time::MAX, 0usize);
-                for lane in 0..k {
+                // Argmin over the hosting fabric's lanes of the earliest
+                // gap fitting the reconfiguration, ties to the lowest lane.
+                let base = self.rec_fabric(ri) as usize * k;
+                let mut best = (Time::MAX, base);
+                for lane in base..base + k {
                     let s = self
                         .icap
                         .earliest_fit(LaneId::controller(lane), release, dur);
@@ -806,6 +811,13 @@ impl RepairEngine {
 
     fn critical(&self, t: TaskId) -> bool {
         self.cpm.critical.get(t.index()).copied().unwrap_or(false)
+    }
+
+    /// Fabric hosting reconfiguration `ri`'s region (0 on single-device
+    /// schedules).
+    fn rec_fabric(&self, ri: u32) -> u32 {
+        let region = self.schedule.reconfigurations[ri as usize].region;
+        self.schedule.regions[region.0 as usize].fabric
     }
 
     fn lag(&self, from: NodeId, to: NodeId) -> Time {
@@ -891,23 +903,30 @@ impl RepairEngine {
         self.cpm
             .recompute(&self.dag, &self.durations, None, &mut self.scratch);
 
-        // Communication lags of costed, non-colocated data edges.
+        // Communication lags of non-colocated data edges, plus the
+        // platform's crossing latency when the endpoints' regions sit on
+        // different fabrics — the same lag rule phase G applies.
         self.lags.clear();
+        let crossing = self.inst.architecture.crossing_latency();
         for (from, to, cost) in self.inst.graph.edges_with_costs() {
-            if cost == 0 {
-                continue;
-            }
-            let colocated = match (
-                &self.schedule.assignments[from.index()].placement,
-                &self.schedule.assignments[to.index()].placement,
-            ) {
+            let pa = &self.schedule.assignments[from.index()].placement;
+            let pb = &self.schedule.assignments[to.index()].placement;
+            let colocated = match (pa, pb) {
                 (Placement::Region(a), Placement::Region(b)) => a == b,
                 (Placement::Core(a), Placement::Core(b)) => a == b,
                 _ => false,
             };
-            if !colocated {
+            let mut lag = if colocated { 0 } else { cost };
+            if let (Placement::Region(a), Placement::Region(b)) = (pa, pb) {
+                if self.schedule.regions[a.0 as usize].fabric
+                    != self.schedule.regions[b.0 as usize].fabric
+                {
+                    lag += crossing;
+                }
+            }
+            if lag > 0 {
                 self.lags
-                    .insert((from.index() as NodeId, to.index() as NodeId), cost);
+                    .insert((from.index() as NodeId, to.index() as NodeId), lag);
             }
         }
 

@@ -7,7 +7,9 @@ use std::mem;
 use prfpga_dag::{
     reach, CpmAnalysis, CpmScratch, CsrView, CycleError, Dag, DagCheckpoint, NodeId, ReachIndex,
 };
-use prfpga_model::{Device, ImplId, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow};
+use prfpga_model::{
+    Device, ImplId, Platform, ProblemInstance, ResourceVec, TaskId, Time, TimeWindow,
+};
 use prfpga_timeline::Timeline;
 
 use crate::error::SchedError;
@@ -20,6 +22,9 @@ pub struct RegionBuild {
     /// Resource budget (`res_{s,r}`); fixed at creation from the first
     /// hosted implementation.
     pub res: ResourceVec,
+    /// Fabric hosting the region; fixed at creation from the opening
+    /// task's partition assignment (always 0 on a single-fabric target).
+    pub fabric: u32,
     /// Hosted tasks, kept sorted by their window start at insertion time.
     pub tasks: Vec<TaskId>,
 }
@@ -58,6 +63,7 @@ pub struct SchedWorkspace {
     regions: Vec<RegionBuild>,
     region_of: Vec<Option<usize>>,
     core_of: Vec<Option<usize>>,
+    fabric_of: Vec<u32>,
     region_pool: Vec<Vec<TaskId>>,
     base: BaseGraph,
     /// Implementation choice the cached `base_cpm` was computed under.
@@ -147,8 +153,18 @@ impl SchedWorkspace {
 pub struct SchedState<'a> {
     /// The instance being scheduled.
     pub inst: &'a ProblemInstance,
-    /// Device with possibly shrunk capacity (feasibility restarts).
+    /// Device with possibly shrunk capacity (feasibility restarts). With a
+    /// platform attached this is the relaxation device; per-fabric
+    /// arithmetic goes through [`SchedState::fabric_device`].
     pub device: &'a Device,
+    /// Multi-fabric platform with possibly shrunk capacities, ratcheted in
+    /// lockstep with `device` by the restart loops. `None` is the classic
+    /// single-device path (injected after construction, like
+    /// `module_reuse`, so direct phase callers are unaffected).
+    pub platform: Option<&'a Platform>,
+    /// Partition assignment per task (fabric index), filled by the
+    /// partition phase; all zeros on a single-fabric target.
+    pub fabric_of: Vec<u32>,
     /// Metric weights for the current device capacity.
     pub weights: MetricWeights,
     /// Dependency DAG over the tasks.
@@ -305,6 +321,9 @@ impl<'a> SchedState<'a> {
         let mut core_of = mem::take(&mut ws.core_of);
         core_of.clear();
         core_of.resize(n, None);
+        let mut fabric_of = mem::take(&mut ws.fabric_of);
+        fabric_of.clear();
+        fabric_of.resize(n, 0);
 
         let mut timeline = mem::take(&mut ws.timeline);
         timeline.reset(inst.architecture.num_processors, 0, 0);
@@ -312,6 +331,8 @@ impl<'a> SchedState<'a> {
         Ok(SchedState {
             inst,
             device,
+            platform: None,
+            fabric_of,
             weights,
             dag,
             impl_choice,
@@ -343,6 +364,7 @@ impl<'a> SchedState<'a> {
         ws.regions = self.regions;
         ws.region_of = self.region_of;
         ws.core_of = self.core_of;
+        ws.fabric_of = self.fabric_of;
         ws.region_pool = self.region_pool;
         ws.timeline = self.timeline;
         ws.reach = self.reach;
@@ -492,12 +514,14 @@ impl<'a> SchedState<'a> {
         }
     }
 
-    /// Opens a new region sized for `imp` and assigns `t` to it.
+    /// Opens a new region sized for `imp` on `t`'s partition fabric and
+    /// assigns `t` to it.
     pub fn open_region(&mut self, t: TaskId, imp: ImplId) {
         let res = self.inst.impls.get(imp).resources();
+        let fabric = self.fabric_of[t.index()];
         let tasks = self.region_pool.pop().unwrap_or_default();
         debug_assert!(tasks.is_empty());
-        self.regions.push(RegionBuild { res, tasks });
+        self.regions.push(RegionBuild { res, fabric, tasks });
         let region = self.regions.len() - 1;
         let old = self.durations[t.index()];
         self.impl_choice[t.index()] = imp;
@@ -520,15 +544,70 @@ impl<'a> SchedState<'a> {
             .count()
     }
 
-    /// Fabric resources already committed to regions.
+    /// Fabric resources already committed to regions (all fabrics summed).
     pub fn used_resources(&self) -> ResourceVec {
         self.regions.iter().map(|r| r.res).sum()
     }
 
-    /// Estimated reconfiguration time of region `s` (eq. 2 on `res_s`).
+    /// Resources already committed to regions hosted on fabric `f`.
+    pub fn used_resources_on(&self, f: u32) -> ResourceVec {
+        self.regions
+            .iter()
+            .filter(|r| r.fabric == f)
+            .map(|r| r.res)
+            .sum()
+    }
+
+    /// Number of fabrics of the target (1 without a platform).
+    #[inline]
+    pub fn num_fabrics(&self) -> usize {
+        match self.platform {
+            Some(p) => p.num_fabrics(),
+            None => 1,
+        }
+    }
+
+    /// The (possibly capacity-shrunk) device describing fabric `f`: the
+    /// platform fabric, or the lone `device` when no platform is attached.
+    /// Bit costs and reconfiguration throughput are never shrunk, so
+    /// timing arithmetic through this accessor matches the real fabric.
+    #[inline]
+    pub fn fabric_device(&self, f: u32) -> &Device {
+        match self.platform {
+            Some(p) => &p.fabrics[f as usize],
+            None => self.device,
+        }
+    }
+
+    /// Capacity of fabric `f` under the current (possibly shrunk) target.
+    #[inline]
+    pub fn fabric_cap(&self, f: u32) -> ResourceVec {
+        self.fabric_device(f).max_res
+    }
+
+    /// Total controller-timeline lanes: `num_reconfig_controllers` per
+    /// fabric, fabric `f` owning lanes `[f*k, f*k+k)`. Equals the plain
+    /// controller count without a platform.
+    #[inline]
+    pub fn controller_lanes(&self) -> usize {
+        self.inst.architecture.num_reconfig_controllers.max(1) * self.num_fabrics()
+    }
+
+    /// Latency added to data edges crossing fabrics (0 without a platform).
+    #[inline]
+    pub fn crossing_latency(&self) -> Time {
+        match self.platform {
+            Some(p) => p.crossing_latency,
+            None => 0,
+        }
+    }
+
+    /// Estimated reconfiguration time of region `s` (eq. 2 on `res_s`,
+    /// using the hosting fabric's bit costs and throughput).
     #[inline]
     pub fn reconf_time(&self, s: usize) -> Time {
-        self.device.reconf_time(&self.regions[s].res)
+        self.fabric_device(self.regions[s].fabric)
+            .reconf_time(&self.regions[s].res)
     }
 
     /// Estimated total reconfiguration time over all regions (eq. 6):

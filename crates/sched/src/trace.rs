@@ -30,6 +30,9 @@ pub enum Phase {
     ImplSelect,
     /// Phase B — dependency DAG construction and the initial CPM pass.
     CriticalPath,
+    /// Fabric partition (between B and C; a no-op on single-fabric
+    /// targets): assigns every task a fabric of the platform.
+    Partition,
     /// Phase C — regions definition.
     Regions,
     /// Phase D — software task balancing.
@@ -44,9 +47,10 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in execution order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::ImplSelect,
         Phase::CriticalPath,
+        Phase::Partition,
         Phase::Regions,
         Phase::SwBalance,
         Phase::SwMap,
@@ -63,11 +67,12 @@ impl Phase {
         match self {
             Phase::ImplSelect => 0,
             Phase::CriticalPath => 1,
-            Phase::Regions => 2,
-            Phase::SwBalance => 3,
-            Phase::SwMap => 4,
-            Phase::Reconf => 5,
-            Phase::Floorplan => 6,
+            Phase::Partition => 2,
+            Phase::Regions => 3,
+            Phase::SwBalance => 4,
+            Phase::SwMap => 5,
+            Phase::Reconf => 6,
+            Phase::Floorplan => 7,
         }
     }
 
@@ -76,6 +81,7 @@ impl Phase {
         match self {
             Phase::ImplSelect => "A implementation selection",
             Phase::CriticalPath => "B critical path extraction",
+            Phase::Partition => "P fabric partition",
             Phase::Regions => "C regions definition",
             Phase::SwBalance => "D software task balancing",
             Phase::SwMap => "F software task mapping",
@@ -419,7 +425,7 @@ mod tests {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
-        assert_eq!(Phase::COUNT, 7);
+        assert_eq!(Phase::COUNT, 8);
     }
 
     #[test]

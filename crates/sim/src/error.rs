@@ -53,6 +53,16 @@ pub enum ValidationError {
     },
     /// The regions together exceed the device capacity.
     DeviceOverCapacity,
+    /// A region names a fabric the platform does not have.
+    FabricOutOfRange {
+        /// Offending region.
+        region: RegionId,
+    },
+    /// The regions hosted on one fabric exceed that fabric's capacity.
+    FabricOverCapacity {
+        /// Overcommitted fabric.
+        fabric: u32,
+    },
     /// A dependency is violated: the consumer starts before the producer
     /// ends.
     PrecedenceViolated {
@@ -142,6 +152,12 @@ impl fmt::Display for ValidationError {
                 write!(f, "task {} does not fit in region {}", task.0, region.0)
             }
             DeviceOverCapacity => write!(f, "regions exceed device capacity"),
+            FabricOutOfRange { region } => {
+                write!(f, "region {} names a nonexistent fabric", region.0)
+            }
+            FabricOverCapacity { fabric } => {
+                write!(f, "regions exceed the capacity of fabric {fabric}")
+            }
             PrecedenceViolated { from, to } => {
                 write!(
                     f,

@@ -184,6 +184,7 @@ mod tests {
         let schedule = Schedule {
             regions: vec![Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             }],
             assignments: vec![
                 TaskAssignment {

@@ -3,8 +3,11 @@
 //! One row per processor core, per reconfigurable region and per
 //! reconfiguration controller (ICAP); reconfigurations are packed onto the
 //! controller rows with the same [`pack_lanes`] rule the ASAP replay uses
-//! to chain them. Intended for examples, the CLI and debugging — not a
-//! stable machine format.
+//! to chain them. On a multi-fabric platform the region and controller
+//! rows are grouped under a `fabric <n>:` header per fabric, each fabric
+//! with its own controller group; single-fabric output is unchanged.
+//! Intended for examples, the CLI and debugging — not a stable machine
+//! format.
 
 use std::fmt::Write as _;
 
@@ -39,41 +42,73 @@ pub fn render_gantt(instance: &ProblemInstance, schedule: &Schedule, width: usiz
         let _ = writeln!(out, "core {p:>2} |{}|", String::from_utf8_lossy(&row));
     }
 
-    // Regions.
-    for s in 0..schedule.regions.len() {
-        let rid = RegionId(s as u32);
-        let mut row = vec![b'.'; width];
-        for t in schedule.tasks_in_region(rid) {
-            let a = schedule.assignment(t);
-            paint(&mut row, scale(a.start), scale(a.end), label_char(t.0));
-        }
-        for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
-            paint(&mut row, scale(r.start), scale(r.end), b'#');
-        }
-        let _ = writeln!(
-            out,
-            "reg {s:>3} |{}| {}",
-            String::from_utf8_lossy(&row),
-            schedule.regions[s].res
-        );
-    }
-
-    // ICAP: one row per reconfiguration controller.
+    // Regions and controllers, grouped by fabric: each fabric's regions
+    // (index order) followed by its own group of k controller rows. A
+    // single fabric prints no headers and degenerates to the original
+    // all-regions-then-all-controllers layout.
     let k = instance.architecture.num_reconfig_controllers.max(1);
-    let rec_windows: Vec<TimeWindow> = schedule
-        .reconfigurations
-        .iter()
-        .map(|r| TimeWindow::new(r.start, r.end))
-        .collect();
-    let lane_of = pack_lanes(&rec_windows, k);
-    for c in 0..k {
-        let mut row = vec![b'.'; width];
-        for (ri, r) in schedule.reconfigurations.iter().enumerate() {
-            if lane_of[ri] == c {
+    let nf = instance
+        .architecture
+        .num_fabrics()
+        .max(schedule.fabric_span() as usize);
+    let multi = nf > 1;
+    for f in 0..nf {
+        if multi {
+            let _ = writeln!(out, "fabric {f}:");
+        }
+        for s in 0..schedule.regions.len() {
+            if schedule.regions[s].fabric as usize != f {
+                continue;
+            }
+            let rid = RegionId(s as u32);
+            let mut row = vec![b'.'; width];
+            for t in schedule.tasks_in_region(rid) {
+                let a = schedule.assignment(t);
+                paint(&mut row, scale(a.start), scale(a.end), label_char(t.0));
+            }
+            for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
                 paint(&mut row, scale(r.start), scale(r.end), b'#');
             }
+            let _ = writeln!(
+                out,
+                "reg {s:>3} |{}| {}",
+                String::from_utf8_lossy(&row),
+                schedule.regions[s].res
+            );
         }
-        let _ = writeln!(out, "icap {c:>2} |{}|", String::from_utf8_lossy(&row));
+
+        let idx: Vec<usize> = schedule
+            .reconfigurations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                schedule
+                    .regions
+                    .get(r.region.index())
+                    .map_or(0, |rg| rg.fabric as usize)
+                    == f
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let rec_windows: Vec<TimeWindow> = idx
+            .iter()
+            .map(|&i| {
+                let r = &schedule.reconfigurations[i];
+                TimeWindow::new(r.start, r.end)
+            })
+            .collect();
+        let lane_of = pack_lanes(&rec_windows, k);
+        for c in 0..k {
+            let mut row = vec![b'.'; width];
+            for (j, &i) in idx.iter().enumerate() {
+                if lane_of[j] == c {
+                    let r = &schedule.reconfigurations[i];
+                    paint(&mut row, scale(r.start), scale(r.end), b'#');
+                }
+            }
+            let abs = f * k + c;
+            let _ = writeln!(out, "icap {abs:>2} |{}|", String::from_utf8_lossy(&row));
+        }
     }
 
     // Legend: which char is which task (only for small schedules).
@@ -141,6 +176,7 @@ mod tests {
         let sched = Schedule {
             regions: vec![Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             }],
             assignments: vec![
                 TaskAssignment {

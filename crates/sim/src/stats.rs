@@ -107,6 +107,7 @@ mod tests {
         let sched = Schedule {
             regions: vec![Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             }],
             assignments: vec![
                 TaskAssignment {

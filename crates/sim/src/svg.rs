@@ -2,9 +2,12 @@
 //!
 //! Produces a self-contained SVG document with one lane per processor
 //! core, one per reconfigurable region and one per reconfiguration
-//! controller (packed with the shared [`pack_lanes`] rule). Tasks are
-//! colored by placement kind, reconfigurations are hatched. No external
-//! assets; viewable in any browser.
+//! controller (packed with the shared [`pack_lanes`] rule). On a
+//! multi-fabric platform the region and controller lanes are grouped by
+//! fabric — each fabric's regions followed by its own controller group —
+//! with `f<n>`-prefixed labels; single-fabric output is unchanged. Tasks
+//! are colored by placement kind, reconfigurations are hatched. No
+//! external assets; viewable in any browser.
 
 use std::fmt::Write as _;
 
@@ -21,7 +24,12 @@ const TOP: u64 = 30;
 pub fn render_svg(instance: &ProblemInstance, schedule: &Schedule) -> String {
     let makespan = schedule.makespan().max(1);
     let k = instance.architecture.num_reconfig_controllers.max(1);
-    let lanes = instance.architecture.num_processors + schedule.regions.len() + k;
+    let nf = instance
+        .architecture
+        .num_fabrics()
+        .max(schedule.fabric_span() as usize);
+    let multi = nf > 1;
+    let lanes = instance.architecture.num_processors + schedule.regions.len() + nf * k;
     let height = TOP + lanes as u64 * (LANE_H + LANE_GAP) + 30;
     let width = LABEL_W + CHART_W + 20;
 
@@ -61,61 +69,92 @@ pub fn render_svg(instance: &ProblemInstance, schedule: &Schedule) -> String {
         lane += 1;
     }
 
-    // Region lanes.
-    for ri in 0..schedule.regions.len() {
-        let rid = RegionId(ri as u32);
-        let y = lane_y(lane);
-        let _ = writeln!(s, r#"<text x="4" y="{}">region {ri}</text>"#, y + 17);
-        lane_background(&mut s, y);
-        for t in schedule.tasks_in_region(rid) {
-            let a = schedule.assignment(t);
-            bar(
-                &mut s,
-                x(a.start),
-                y,
-                (x(a.end) - x(a.start)).max(1),
-                "#59a14f",
-                &instance.graph.task(t).name,
-            );
-        }
-        for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
-            bar(
-                &mut s,
-                x(r.start),
-                y,
-                (x(r.end) - x(r.start)).max(1),
-                "#e15759",
-                "reconf",
-            );
-        }
-        lane += 1;
-    }
-
-    // Controller lanes, one per reconfiguration controller.
-    let rec_windows: Vec<TimeWindow> = schedule
-        .reconfigurations
-        .iter()
-        .map(|r| TimeWindow::new(r.start, r.end))
-        .collect();
-    let lane_of = pack_lanes(&rec_windows, k);
-    for c in 0..k {
-        let y = lane_y(lane);
-        let _ = writeln!(s, r#"<text x="4" y="{}">icap {c}</text>"#, y + 17);
-        lane_background(&mut s, y);
-        for (ri, r) in schedule.reconfigurations.iter().enumerate() {
-            if lane_of[ri] != c {
+    // Region lanes, grouped by hosting fabric (index order within each
+    // group; with a single fabric this is plain index order).
+    for f in 0..nf {
+        for ri in 0..schedule.regions.len() {
+            if schedule.regions[ri].fabric as usize != f {
                 continue;
             }
-            bar(
-                &mut s,
-                x(r.start),
-                y,
-                (x(r.end) - x(r.start)).max(1),
-                "#e15759",
-                &format!("load r{}", r.region.0),
-            );
+            let rid = RegionId(ri as u32);
+            let y = lane_y(lane);
+            if multi {
+                let _ = writeln!(s, r#"<text x="4" y="{}">f{f} reg {ri}</text>"#, y + 17);
+            } else {
+                let _ = writeln!(s, r#"<text x="4" y="{}">region {ri}</text>"#, y + 17);
+            }
+            lane_background(&mut s, y);
+            for t in schedule.tasks_in_region(rid) {
+                let a = schedule.assignment(t);
+                bar(
+                    &mut s,
+                    x(a.start),
+                    y,
+                    (x(a.end) - x(a.start)).max(1),
+                    "#59a14f",
+                    &instance.graph.task(t).name,
+                );
+            }
+            for r in schedule.reconfigurations.iter().filter(|r| r.region == rid) {
+                bar(
+                    &mut s,
+                    x(r.start),
+                    y,
+                    (x(r.end) - x(r.start)).max(1),
+                    "#e15759",
+                    "reconf",
+                );
+            }
+            lane += 1;
         }
-        lane += 1;
+
+        // This fabric's controller lanes: each fabric owns its own group
+        // of k controllers, packed with the shared rule.
+        let idx: Vec<usize> = schedule
+            .reconfigurations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                schedule
+                    .regions
+                    .get(r.region.index())
+                    .map_or(0, |rg| rg.fabric as usize)
+                    == f
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let rec_windows: Vec<TimeWindow> = idx
+            .iter()
+            .map(|&i| {
+                let r = &schedule.reconfigurations[i];
+                TimeWindow::new(r.start, r.end)
+            })
+            .collect();
+        let lane_of = pack_lanes(&rec_windows, k);
+        for c in 0..k {
+            let y = lane_y(lane);
+            if multi {
+                let _ = writeln!(s, r#"<text x="4" y="{}">f{f} icap {c}</text>"#, y + 17);
+            } else {
+                let _ = writeln!(s, r#"<text x="4" y="{}">icap {c}</text>"#, y + 17);
+            }
+            lane_background(&mut s, y);
+            for (j, &i) in idx.iter().enumerate() {
+                if lane_of[j] != c {
+                    continue;
+                }
+                let r = &schedule.reconfigurations[i];
+                bar(
+                    &mut s,
+                    x(r.start),
+                    y,
+                    (x(r.end) - x(r.start)).max(1),
+                    "#e15759",
+                    &format!("load r{}", r.region.0),
+                );
+            }
+            lane += 1;
+        }
     }
 
     let _ = writeln!(s, "</svg>");
@@ -175,6 +214,7 @@ mod tests {
         let sched = Schedule {
             regions: vec![Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             }],
             assignments: vec![
                 TaskAssignment {

@@ -52,8 +52,6 @@ pub fn validate_schedule(
     check_capacity(instance, schedule)?;
     check_precedence(instance, schedule)?;
 
-    let device = &instance.architecture.device;
-
     // --- Core exclusivity ---------------------------------------------------
     for p in 0..instance.architecture.num_processors {
         let tasks = schedule.tasks_on_core(p);
@@ -96,8 +94,13 @@ pub fn validate_schedule(
                     return Err(ValidationError::ReconfigurationDuringExecution { region: rid });
                 }
             }
-            // Duration follows eq. 1-2 for the region size.
-            if r.duration() != device.reconf_time(&region.res) {
+            // Duration follows eq. 1-2 for the hosting fabric's controller.
+            if r.duration()
+                != instance
+                    .architecture
+                    .fabric(region.fabric as usize)
+                    .reconf_time(&region.res)
+            {
                 return Err(ValidationError::ReconfigurationDurationMismatch { region: rid });
             }
         }
@@ -148,8 +151,6 @@ pub fn validate_schedule_sweep(
     check_shapes(instance, schedule)?;
     check_capacity(instance, schedule)?;
     check_precedence(instance, schedule)?;
-
-    let device = &instance.architecture.device;
 
     // One bucketing pass over the assignments; the shape checks above
     // already proved every placement index in range.
@@ -245,7 +246,12 @@ pub fn validate_schedule_sweep(
             if blocked {
                 return Err(ValidationError::ReconfigurationDuringExecution { region: rid });
             }
-            if r.duration() != device.reconf_time(&region.res) {
+            if r.duration()
+                != instance
+                    .architecture
+                    .fabric(region.fabric as usize)
+                    .reconf_time(&region.res)
+            {
                 return Err(ValidationError::ReconfigurationDurationMismatch { region: rid });
             }
         }
@@ -321,30 +327,57 @@ fn check_shapes(instance: &ProblemInstance, schedule: &Schedule) -> Result<(), V
     Ok(())
 }
 
-/// Device capacity: the regions together fit the fabric.
+/// Device capacity, per fabric: every region names a real fabric and the
+/// regions hosted on each fabric together fit it. On a single fabric this
+/// degenerates to the original whole-device check (and keeps its
+/// [`ValidationError::DeviceOverCapacity`] verdict).
 fn check_capacity(instance: &ProblemInstance, schedule: &Schedule) -> Result<(), ValidationError> {
-    if !schedule
-        .total_region_resources()
-        .fits_in(&instance.architecture.device.max_res)
-    {
-        return Err(ValidationError::DeviceOverCapacity);
+    let arch = &instance.architecture;
+    let nf = arch.num_fabrics();
+    for (ri, region) in schedule.regions.iter().enumerate() {
+        if region.fabric as usize >= nf {
+            return Err(ValidationError::FabricOutOfRange {
+                region: RegionId(ri as u32),
+            });
+        }
+    }
+    for f in 0..nf {
+        if !schedule
+            .region_resources_on(f as u32)
+            .fits_in(&arch.fabric(f).max_res)
+        {
+            return Err(if nf == 1 {
+                ValidationError::DeviceOverCapacity
+            } else {
+                ValidationError::FabricOverCapacity { fabric: f as u32 }
+            });
+        }
     }
     Ok(())
 }
 
 /// Precedence with optional communication costs for non-colocated pairs.
+/// Region-to-region edges whose endpoints land on different fabrics pay
+/// the platform's inter-fabric crossing latency on top of the edge cost
+/// (zero without a platform; a single fabric never crosses).
 fn check_precedence(
     instance: &ProblemInstance,
     schedule: &Schedule,
 ) -> Result<(), ValidationError> {
+    let crossing = instance.architecture.crossing_latency();
     for (i, &(from, to)) in instance.graph.edges.iter().enumerate() {
         let pa = schedule.assignment(from);
         let sa = schedule.assignment(to);
-        let comm = if pa.placement.colocated(sa.placement) {
+        let mut comm = if pa.placement.colocated(sa.placement) {
             0
         } else {
             instance.graph.edge_cost(i)
         };
+        if let (Placement::Region(ra), Placement::Region(rb)) = (pa.placement, sa.placement) {
+            if schedule.regions[ra.index()].fabric != schedule.regions[rb.index()].fabric {
+                comm += crossing;
+            }
+        }
         if sa.start < pa.end + comm {
             return Err(ValidationError::PrecedenceViolated { from, to });
         }
@@ -374,27 +407,33 @@ fn check_dangling(schedule: &Schedule) -> Result<(), ValidationError> {
     Ok(())
 }
 
-/// Controllers: at most k reconfigurations concurrently (k = 1 in the
-/// paper's model: reconfigurations fully serialize).
+/// Controllers: at most k reconfigurations concurrently *per fabric*
+/// (k = 1 in the paper's model: reconfigurations fully serialize). Each
+/// fabric owns its own controller group, so the sweep runs once per
+/// fabric over the reconfigurations of that fabric's regions; with one
+/// fabric this is the original single global sweep. Runs after
+/// [`check_dangling`], so every reconfiguration's region index is valid.
 fn check_contention(
     instance: &ProblemInstance,
     schedule: &Schedule,
 ) -> Result<(), ValidationError> {
     let k = instance.architecture.num_reconfig_controllers.max(1);
-    let mut events: Vec<(Time, i64)> = Vec::with_capacity(schedule.reconfigurations.len() * 2);
-    for r in &schedule.reconfigurations {
-        if r.duration() > 0 {
-            events.push((r.start, 1));
-            events.push((r.end, -1));
+    for f in 0..instance.architecture.num_fabrics() as u32 {
+        let mut events: Vec<(Time, i64)> = Vec::with_capacity(schedule.reconfigurations.len() * 2);
+        for r in &schedule.reconfigurations {
+            if schedule.regions[r.region.index()].fabric == f && r.duration() > 0 {
+                events.push((r.start, 1));
+                events.push((r.end, -1));
+            }
         }
-    }
-    // Ends sort before starts at equal ticks (half-open intervals).
-    events.sort_unstable_by_key(|&(t, delta)| (t, delta));
-    let mut active = 0i64;
-    for (_, delta) in events {
-        active += delta;
-        if active > k as i64 {
-            return Err(ValidationError::ReconfiguratorContention);
+        // Ends sort before starts at equal ticks (half-open intervals).
+        events.sort_unstable_by_key(|&(t, delta)| (t, delta));
+        let mut active = 0i64;
+        for (_, delta) in events {
+            active += delta;
+            if active > k as i64 {
+                return Err(ValidationError::ReconfiguratorContention);
+            }
         }
     }
     Ok(())
@@ -445,6 +484,7 @@ mod tests {
         let schedule = Schedule {
             regions: vec![Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             }],
             assignments: vec![
                 TaskAssignment {
@@ -551,6 +591,7 @@ mod tests {
         let (inst, mut s) = fixture();
         s.regions.push(Region {
             res: ResourceVec::new(19, 0, 0),
+            fabric: 0,
         });
         assert_eq!(
             validate_both(&inst, &s),
@@ -576,6 +617,7 @@ mod tests {
         // A second, overlapping reconfiguration of a second region.
         s.regions.push(Region {
             res: ResourceVec::new(5, 0, 0),
+            fabric: 0,
         });
         s.reconfigurations.push(Reconfiguration {
             region: RegionId(1),

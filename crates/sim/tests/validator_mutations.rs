@@ -12,8 +12,8 @@
 //! check far beyond the hand-picked mutants.
 
 use prfpga_model::{
-    Architecture, Device, ImplPool, Implementation, Placement, ProblemInstance, Reconfiguration,
-    Region, RegionId, ResourceVec, Schedule, TaskAssignment, TaskGraph, TaskId,
+    Architecture, Device, ImplPool, Implementation, Placement, Platform, ProblemInstance,
+    Reconfiguration, Region, RegionId, ResourceVec, Schedule, TaskAssignment, TaskGraph, TaskId,
 };
 use prfpga_sim::{validate_schedule, validate_schedule_sweep, ValidationError};
 
@@ -86,9 +86,11 @@ fn fixture() -> (ProblemInstance, Schedule) {
         regions: vec![
             Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             },
             Region {
                 res: ResourceVec::new(5, 0, 0),
+                fabric: 0,
             },
         ],
         assignments: vec![
@@ -223,6 +225,101 @@ fn overlapping_reconfigurations_are_reconfigurator_contention() {
         validate(&inst, &s),
         Err(ValidationError::ReconfiguratorContention)
     );
+}
+
+// --- Multi-fabric mutation seeds --------------------------------------------
+//
+// The fixture re-hosted on a two-fabric platform. The violations below are
+// invisible to a single-device checker: the summed capacity still fits, the
+// controller overlap is legal when the fabrics differ, and the precedence
+// slack is exactly eaten by the crossing latency.
+
+/// Same tasks, windows and reconfigurations as [`fixture`], but the target
+/// is a platform of two identical 20-CLB fabrics (crossing latency 7),
+/// with region 0 on fabric 0 and region 1 on fabric 1. The fabrics match
+/// the original device, so every duration is unchanged and the baseline
+/// stays valid.
+fn multi_fabric_fixture() -> (ProblemInstance, Schedule) {
+    let (base, mut s) = fixture();
+    let platform = Platform {
+        name: "dual-tiny".to_string(),
+        fabrics: vec![
+            Device::tiny_test(ResourceVec::new(20, 4, 4), 1),
+            Device::tiny_test(ResourceVec::new(20, 4, 4), 1),
+        ],
+        crossing_latency: 7,
+    };
+    let inst = ProblemInstance::new(
+        "multi_fabric_fixture",
+        Architecture::on_platform(1, platform),
+        base.graph.clone(),
+        base.impls.clone(),
+    )
+    .unwrap();
+    s.regions[1].fabric = 1;
+    (inst, s)
+}
+
+#[test]
+fn multi_fabric_baseline_is_valid() {
+    let (inst, s) = multi_fabric_fixture();
+    assert_eq!(validate(&inst, &s), Ok(()));
+}
+
+/// Seed: an extra idle region pushes fabric 0 past its 20-CLB capacity
+/// while the *summed* capacity (the single-device relaxation) still fits —
+/// only a per-fabric capacity check rejects this.
+#[test]
+fn over_capacity_fabric_is_fabric_over_capacity() {
+    let (inst, mut s) = multi_fabric_fixture();
+    s.regions.push(Region {
+        res: ResourceVec::new(16, 0, 0),
+        fabric: 0,
+    });
+    // Fabric 0 now hosts 5 + 16 = 21 > 20 CLB; 26 total <= 40 summed.
+    assert_eq!(
+        validate(&inst, &s),
+        Err(ValidationError::FabricOverCapacity { fabric: 0 })
+    );
+}
+
+/// Seed: the two reconfigurations overlap in time. On different fabrics
+/// that is legal — each fabric owns its own controller group — but
+/// re-hosting region 1 on fabric 0 turns the same overlap into contention
+/// on one controller.
+#[test]
+fn controller_overlap_contends_on_one_fabric_not_across_two() {
+    let (inst, mut s) = multi_fabric_fixture();
+    s.reconfigurations[1].start = 12;
+    s.reconfigurations[1].end = 17;
+    assert_eq!(validate(&inst, &s), Ok(()));
+    s.regions[1].fabric = 0;
+    assert_eq!(
+        validate(&inst, &s),
+        Err(ValidationError::ReconfiguratorContention)
+    );
+}
+
+/// Seed: task A migrates to region 1 (fabric 1) without re-timing. Its
+/// edge to B now crosses fabrics, so B must start no earlier than
+/// `end(A) + 7`; the 5-tick gap no longer suffices. Zeroing the platform's
+/// crossing latency makes the identical schedule valid again, pinning the
+/// crossing charge as the only violation.
+#[test]
+fn missing_crossing_latency_is_precedence_violated() {
+    let (inst, mut s) = multi_fabric_fixture();
+    s.assignments[A.index()].placement = Placement::Region(RegionId(1));
+    assert_eq!(
+        validate(&inst, &s),
+        Err(ValidationError::PrecedenceViolated { from: A, to: B })
+    );
+    let mut free = inst.clone();
+    free.architecture
+        .platform
+        .as_mut()
+        .unwrap()
+        .crossing_latency = 0;
+    assert_eq!(validate(&free, &s), Ok(()));
 }
 
 // --- Systematic sweep-vs-oracle agreement corpus ---------------------------

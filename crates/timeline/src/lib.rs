@@ -457,26 +457,49 @@ impl Timeline {
     /// backfills a gap, which is the contract of the PA pipeline's phase G
     /// event pass. Panics when no controller lane exists.
     pub fn controller_next_free(&self) -> (usize, Time) {
+        self.controller_next_free_in(0, self.controllers.len())
+    }
+
+    /// [`Timeline::controller_next_free`] restricted to the `count`
+    /// controller lanes starting at `start` — the lane group owned by one
+    /// fabric of a multi-fabric platform (fabric `f` of a platform with `k`
+    /// controllers per fabric owns lanes `[f*k, f*k+k)`). Returns an
+    /// absolute lane index. With `start == 0` and `count` covering every
+    /// lane this is exactly the global query.
+    pub fn controller_next_free_in(&self, start: usize, count: usize) -> (usize, Time) {
         self.gap_queries.set(self.gap_queries.get() + 1);
-        self.controllers
+        self.controllers[start..start + count]
             .iter()
             .enumerate()
-            .map(|(c, lane)| (c, lane.free_from()))
+            .map(|(c, lane)| (start + c, lane.free_from()))
             .min_by_key(|&(c, free)| (free, c))
-            .expect("at least one controller lane")
+            .expect("at least one controller lane in range")
     }
 
     /// First gap of `duration` across all controller lanes at or after
     /// `release`: the controller offering the earliest slot, ties broken
     /// towards the lowest index. Panics when no controller lane exists.
     pub fn controller_first_fit(&self, release: Time, duration: Time) -> (usize, Time) {
+        self.controller_first_fit_in(0, self.controllers.len(), release, duration)
+    }
+
+    /// [`Timeline::controller_first_fit`] restricted to the `count`
+    /// controller lanes starting at `start` (one fabric's lane group);
+    /// returns an absolute lane index.
+    pub fn controller_first_fit_in(
+        &self,
+        start: usize,
+        count: usize,
+        release: Time,
+        duration: Time,
+    ) -> (usize, Time) {
         self.gap_queries.set(self.gap_queries.get() + 1);
-        self.controllers
+        self.controllers[start..start + count]
             .iter()
             .enumerate()
-            .map(|(c, lane)| (c, lane.earliest_fit(release, duration)))
-            .min_by_key(|&(c, start)| (start, c))
-            .expect("at least one controller lane")
+            .map(|(c, lane)| (start + c, lane.earliest_fit(release, duration)))
+            .min_by_key(|&(c, t)| (t, c))
+            .expect("at least one controller lane in range")
     }
 
     /// Usage counters accumulated since the last [`Timeline::reset`].
@@ -684,6 +707,27 @@ mod tests {
         assert_eq!(tl.controller_next_free(), (1, 0));
         tl.reserve(LaneId::controller(1), w(0, 40)).unwrap();
         assert_eq!(tl.controller_next_free(), (0, 30));
+    }
+
+    #[test]
+    fn controller_range_queries_restrict_to_lane_group() {
+        // Two fabrics x two controllers: fabric 0 owns lanes 0-1, fabric 1
+        // owns lanes 2-3.
+        let mut tl = Timeline::with_lanes(0, 0, 4);
+        tl.reserve(LaneId::controller(0), w(0, 10)).unwrap();
+        tl.reserve(LaneId::controller(1), w(0, 20)).unwrap();
+        tl.reserve(LaneId::controller(2), w(0, 5)).unwrap();
+        // The full-range variants equal the classic queries.
+        assert_eq!(tl.controller_next_free_in(0, 4), tl.controller_next_free());
+        assert_eq!(
+            tl.controller_first_fit_in(0, 4, 0, 5),
+            tl.controller_first_fit(0, 5)
+        );
+        // Fabric 0 never sees fabric 1's idle lanes.
+        assert_eq!(tl.controller_next_free_in(0, 2), (0, 10));
+        assert_eq!(tl.controller_next_free_in(2, 2), (3, 0));
+        assert_eq!(tl.controller_first_fit_in(0, 2, 0, 5), (0, 10));
+        assert_eq!(tl.controller_first_fit_in(2, 2, 0, 5), (3, 0));
     }
 
     #[test]

@@ -73,9 +73,9 @@ pub mod prelude {
     pub use prfpga_baseline::{HeftScheduler, IsKScheduler};
     pub use prfpga_gen::{EventConfig, EventTraceGenerator, SuiteConfig, TaskGraphGenerator};
     pub use prfpga_model::{
-        Architecture, Device, EventTrace, ImplId, ImplKind, ImplPool, Implementation, Placement,
-        ProblemInstance, Reconfiguration, Region, RegionId, ResourceKind, ResourceVec, Schedule,
-        ScheduleEvent, TaskGraph, TaskId, Time, TimeWindow,
+        Architecture, Device, EventTrace, FabricId, ImplId, ImplKind, ImplPool, Implementation,
+        Placement, Platform, ProblemInstance, Reconfiguration, Region, RegionId, ResourceKind,
+        ResourceVec, Schedule, ScheduleEvent, TaskGraph, TaskId, Time, TimeWindow,
     };
     pub use prfpga_portfolio::{Member, Portfolio, PortfolioConfig};
     pub use prfpga_sched::{
