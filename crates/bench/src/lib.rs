@@ -28,6 +28,7 @@ pub mod repair;
 pub mod report;
 pub mod runners;
 pub mod scale;
+pub mod server_load;
 
 pub use exec::{parallel_map, ExecPolicy};
 pub use repair::{
@@ -41,3 +42,4 @@ pub use scale::{
     reach_microbench, scaling_instances, warmup_run, PartitionBench, PhaseMs, ReachBench, Scale,
     ScaleConfig, ScalingEntry, ScalingReport, ScalingStudyConfig,
 };
+pub use server_load::{check_server_regression, run_server_load, LoadConfig, ServerLoadReport};

@@ -1,0 +1,387 @@
+//! Server load study: seeded synthetic traffic against the scheduling
+//! daemon (`BENCH_server.json`, the `loadgen` binary).
+//!
+//! A fleet of closed-loop clients replays a deterministic request blend
+//! (rotating seeds, one algorithm, one deadline envelope) against an
+//! in-process — or, with `--tcp`, a real socket — server, sweep-validates
+//! every returned schedule client-side, and writes throughput, latency
+//! percentiles and the deadline-hit rate to JSON. Like the scaling study,
+//! a committed baseline plus `--check` turns cross-PR service-throughput
+//! regressions into hard CI failures.
+
+use std::time::Instant;
+
+use prfpga_model::service::{
+    AlgoChoice, InstanceSpec, ScheduleRequest, ServiceRequest, ServiceResponse,
+};
+use prfpga_model::ProblemInstance;
+use prfpga_server::{in_proc, tcp_client, ClientConn, Server, ServerConfig, TcpTransport};
+use prfpga_sim::validate_schedule_sweep;
+use serde::{Deserialize, Serialize};
+
+/// Traffic shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total schedule requests across all clients.
+    pub requests: usize,
+    /// Concurrent closed-loop clients (0 = one per worker).
+    pub clients: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Tasks per generated instance.
+    pub tasks: usize,
+    /// Distinct generator seeds the traffic rotates through.
+    pub seeds: u64,
+    /// Algorithm every request asks for.
+    pub algo: AlgoChoice,
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Per-request inner search budget, milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Drive a real TCP socket instead of the in-process transport.
+    pub tcp: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            requests: 400,
+            clients: 0,
+            workers: ServerConfig::default().workers,
+            tasks: 60,
+            seeds: 8,
+            algo: AlgoChoice::Portfolio,
+            deadline_ms: Some(50),
+            // Well under the deadline: the inner search budget must leave
+            // room for queueing, validation, framing — and for core
+            // contention, since every in-flight portfolio request races
+            // several members at once.
+            budget_ms: Some(10),
+            tcp: false,
+        }
+    }
+}
+
+/// One load run's results (`prfpga-server-v1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerLoadReport {
+    /// Schema tag, [`ServerLoadReport::SCHEMA`].
+    pub schema: String,
+    /// `in-proc` or `tcp`.
+    pub transport: String,
+    /// Algorithm the traffic requested.
+    pub algo: String,
+    /// Tasks per instance.
+    pub tasks: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Schedule requests sent.
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// Typed error responses (admission rejections included).
+    pub errors: u64,
+    /// Responses whose schedule failed the client-side sweep validation
+    /// (any nonzero value fails the run).
+    pub invalid_schedules: u64,
+    /// Wall-clock of the traffic phase, seconds.
+    pub duration_s: f64,
+    /// Served requests per second over the traffic phase.
+    pub req_per_sec: f64,
+    /// Requests that declared a deadline.
+    pub deadline_declared: u64,
+    /// Declared-deadline requests answered in time.
+    pub deadline_met: u64,
+    /// `deadline_met / deadline_declared`, percent (100 when none).
+    pub deadline_hit_rate_pct: f64,
+    /// Server-side median service time, microseconds.
+    pub p50_us: u64,
+    /// Server-side 99th-percentile service time, microseconds.
+    pub p99_us: u64,
+    /// Worker workspace rewinds over the run.
+    pub workspace_reuses: u64,
+    /// Worker workspace rebuilds over the run.
+    pub workspace_rebuilds: u64,
+    /// Admission rejections: queue full.
+    pub rejected_queue_full: u64,
+    /// Admission rejections: deadline unmeetable.
+    pub rejected_unmeetable: u64,
+}
+
+impl ServerLoadReport {
+    /// Schema tag of the report format.
+    pub const SCHEMA: &'static str = "prfpga-server-v1";
+}
+
+/// Compares a run against a committed baseline: fails when any schedule
+/// was invalid or throughput dropped more than `tolerance_pct` percent.
+pub fn check_server_regression(
+    baseline: &ServerLoadReport,
+    current: &ServerLoadReport,
+    tolerance_pct: f64,
+) -> Result<(), String> {
+    if current.invalid_schedules > 0 {
+        return Err(format!(
+            "{} responses failed client-side sweep validation",
+            current.invalid_schedules
+        ));
+    }
+    let floor = baseline.req_per_sec * (1.0 - tolerance_pct / 100.0);
+    if current.req_per_sec < floor {
+        return Err(format!(
+            "throughput {:.1} req/s is below {:.1} (baseline {:.1} - {tolerance_pct}%)",
+            current.req_per_sec, floor, baseline.req_per_sec
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the wire line of request `id` for profile seed `seed`.
+fn request_line(config: &LoadConfig, id: u64, seed: u64) -> String {
+    let req = ServiceRequest::Schedule(Box::new(ScheduleRequest {
+        id,
+        algo: config.algo,
+        instance: InstanceSpec::Generated {
+            tasks: config.tasks,
+            seed,
+            platform: None,
+            cores: 2,
+        },
+        deadline_ms: config.deadline_ms,
+        budget_ms: config.budget_ms,
+        events: Vec::new(),
+    }));
+    serde_json::to_string(&req).expect("requests serialize")
+}
+
+/// Per-client tallies, merged into the report.
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    errors: u64,
+    invalid: u64,
+    declared: u64,
+    met: u64,
+}
+
+fn drive_client(
+    config: &LoadConfig,
+    client: &mut ClientConn,
+    client_idx: usize,
+    count: usize,
+    corpus: &[ProblemInstance],
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    for i in 0..count {
+        let seed = (client_idx + i) as u64 % config.seeds;
+        let id = client_idx as u64 * 1_000_000 + i as u64;
+        let line = request_line(config, id, seed);
+        client.send_line(&line).expect("send request");
+        let resp = client
+            .recv_line()
+            .expect("read response")
+            .expect("response before EOF");
+        let resp: ServiceResponse =
+            serde_json::from_str(&resp).unwrap_or_else(|e| panic!("bad response {resp:?}: {e:?}"));
+        match resp {
+            ServiceResponse::Ok(reply) => {
+                tally.ok += 1;
+                if validate_schedule_sweep(&corpus[seed as usize], &reply.schedule).is_err() {
+                    tally.invalid += 1;
+                }
+                if config.deadline_ms.is_some() {
+                    tally.declared += 1;
+                    if reply.deadline_met {
+                        tally.met += 1;
+                    }
+                }
+            }
+            _ => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Runs one load study: starts a server, drives the traffic, stops the
+/// server, and merges client- and server-side tallies into the report.
+pub fn run_server_load(config: &LoadConfig) -> ServerLoadReport {
+    let clients = if config.clients == 0 {
+        config.workers
+    } else {
+        config.clients
+    };
+    let server_config = ServerConfig {
+        workers: config.workers,
+        prewarm_tasks: config.tasks,
+        log_every: None,
+        ..ServerConfig::default()
+    };
+
+    // The named profiles the traffic rotates through, regenerated once
+    // here so every response can be sweep-validated client-side.
+    let corpus: Vec<ProblemInstance> = (0..config.seeds)
+        .map(|seed| {
+            prfpga_gen::service_instance(config.tasks, seed, None, 2).expect("profile generates")
+        })
+        .collect();
+
+    // Start the server on the chosen transport and connect the fleet.
+    let (handle, mut conns): (_, Vec<ClientConn>) = if config.tcp {
+        let transport = TcpTransport::bind("127.0.0.1:0").expect("bind");
+        let addr = transport.local_addr().expect("local addr");
+        let handle = Server::start(transport, server_config);
+        let conns = (0..clients)
+            .map(|_| tcp_client(addr).expect("connect"))
+            .collect();
+        (handle, conns)
+    } else {
+        let (connector, transport) = in_proc();
+        let handle = Server::start(transport, server_config);
+        let conns = (0..clients)
+            .map(|_| connector.connect().expect("connect"))
+            .collect();
+        (handle, conns)
+    };
+
+    // Closed-loop traffic: spread the request count over the fleet.
+    let per_client = config.requests / clients;
+    let remainder = config.requests % clients;
+    let started = Instant::now();
+    let mut tallies: Vec<ClientTally> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = conns
+            .iter_mut()
+            .enumerate()
+            .map(|(c, client)| {
+                let corpus = &corpus;
+                let count = per_client + usize::from(c < remainder);
+                scope.spawn(move || drive_client(config, client, c, count, corpus))
+            })
+            .collect();
+        for h in handles {
+            tallies.push(h.join().expect("client thread"));
+        }
+    });
+    let duration = started.elapsed();
+    drop(conns);
+    let stats = handle.stop();
+
+    let sum = |f: fn(&ClientTally) -> u64| tallies.iter().map(f).sum::<u64>();
+    let (ok, errors, invalid) = (sum(|t| t.ok), sum(|t| t.errors), sum(|t| t.invalid));
+    let (declared, met) = (sum(|t| t.declared), sum(|t| t.met));
+    ServerLoadReport {
+        schema: ServerLoadReport::SCHEMA.into(),
+        transport: if config.tcp { "tcp" } else { "in-proc" }.into(),
+        algo: config.algo.to_string(),
+        tasks: config.tasks,
+        workers: config.workers,
+        clients,
+        requests: config.requests as u64,
+        ok,
+        errors,
+        invalid_schedules: invalid,
+        duration_s: duration.as_secs_f64(),
+        req_per_sec: ok as f64 / duration.as_secs_f64().max(f64::EPSILON),
+        deadline_declared: declared,
+        deadline_met: met,
+        deadline_hit_rate_pct: if declared == 0 {
+            100.0
+        } else {
+            met as f64 * 100.0 / declared as f64
+        },
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+        workspace_reuses: stats.workspace_reuses,
+        workspace_rebuilds: stats.workspace_rebuilds,
+        rejected_queue_full: stats.rejected_queue_full,
+        rejected_unmeetable: stats.rejected_unmeetable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LoadConfig {
+        LoadConfig {
+            requests: 12,
+            clients: 2,
+            workers: 2,
+            tasks: 12,
+            seeds: 3,
+            algo: AlgoChoice::Pa,
+            deadline_ms: Some(5_000),
+            budget_ms: Some(20),
+            tcp: false,
+        }
+    }
+
+    #[test]
+    fn tiny_load_run_answers_everything_validly() {
+        let report = run_server_load(&tiny_config());
+        assert_eq!(report.ok, 12);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.invalid_schedules, 0);
+        assert_eq!(report.deadline_declared, 12);
+        assert!(report.req_per_sec > 0.0);
+        assert!(report.workspace_reuses + report.workspace_rebuilds > 0);
+    }
+
+    #[test]
+    fn tcp_load_run_matches_the_in_proc_path() {
+        let report = run_server_load(&LoadConfig {
+            requests: 6,
+            tcp: true,
+            ..tiny_config()
+        });
+        assert_eq!(report.transport, "tcp");
+        assert_eq!(report.ok, 6);
+        assert_eq!(report.invalid_schedules, 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_server_load(&LoadConfig {
+            requests: 4,
+            ..tiny_config()
+        });
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ServerLoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn regression_check_flags_drops_and_invalid_schedules() {
+        let entry = |rps: f64, invalid: u64| ServerLoadReport {
+            schema: ServerLoadReport::SCHEMA.into(),
+            transport: "in-proc".into(),
+            algo: "portfolio".into(),
+            tasks: 60,
+            workers: 4,
+            clients: 4,
+            requests: 100,
+            ok: 100,
+            errors: 0,
+            invalid_schedules: invalid,
+            duration_s: 1.0,
+            req_per_sec: rps,
+            deadline_declared: 100,
+            deadline_met: 99,
+            deadline_hit_rate_pct: 99.0,
+            p50_us: 20_000,
+            p99_us: 40_000,
+            workspace_reuses: 50,
+            workspace_rebuilds: 50,
+            rejected_queue_full: 0,
+            rejected_unmeetable: 0,
+        };
+        let base = entry(150.0, 0);
+        assert!(check_server_regression(&base, &entry(125.0, 0), 20.0).is_ok());
+        let err = check_server_regression(&base, &entry(110.0, 0), 20.0).unwrap_err();
+        assert!(err.contains("below"), "{err}");
+        let err = check_server_regression(&base, &entry(150.0, 1), 20.0).unwrap_err();
+        assert!(err.contains("sweep"), "{err}");
+    }
+}

@@ -12,6 +12,8 @@
 //!               [--cascade 50] [--save-trace events.json] [--out repaired.json]
 //! prfpga devices
 //! prfpga platforms
+//! prfpga serve [--addr 127.0.0.1:7070] [--workers N] [--queue-bound N]
+//!              [--prewarm-tasks N] [--log-every-s S] [--quiet]
 //! ```
 //!
 //! Instances carry their target inside the JSON, so `schedule`, `validate`
@@ -29,6 +31,7 @@ use prfpga_portfolio::{Portfolio, PortfolioConfig};
 use prfpga_sched::{
     CancelToken, PaRScheduler, PaScheduler, RepairConfig, RepairEngine, SchedulerConfig,
 };
+use prfpga_server::{Server, ServerConfig, TcpTransport};
 use prfpga_sim::{render_gantt, schedule_stats, validate_schedule_sweep};
 
 fn main() -> ExitCode {
@@ -78,7 +81,11 @@ const USAGE: &str = "usage:
                                                  default 50)
                   [--save-trace <events.json>] [--out <schedule.json>]
   prfpga devices
-  prfpga platforms";
+  prfpga platforms
+  prfpga serve    [--addr 127.0.0.1:7070] [--workers <n>] [--queue-bound <n>]
+                  [--prewarm-tasks <n>] [--log-every-s <s>] [--quiet]
+                  (scheduling daemon: newline-delimited JSON requests, see
+                   DESIGN.md section 8.4; runs until killed)";
 
 /// Pulls the value following `--flag`.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -127,6 +134,7 @@ fn run(args: &[String]) -> Result<(), String> {
             platforms();
             Ok(())
         }
+        Some("serve") => serve(args),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -529,4 +537,48 @@ fn platforms() {
     }
     println!();
     println!("single-device targets (1-fabric platforms): see `prfpga devices`");
+}
+
+/// `prfpga serve`: the scheduling daemon on a TCP socket. Runs until the
+/// process is killed; `stats` requests and the periodic log line expose
+/// the service metrics.
+fn serve(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
+    let mut config = ServerConfig::default();
+    if let Some(v) = flag(args, "--workers") {
+        config.workers = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or("--workers must be a positive count")?;
+    }
+    if let Some(v) = flag(args, "--queue-bound") {
+        config.queue_bound = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or("--queue-bound must be a positive count")?;
+    }
+    if let Some(v) = flag(args, "--prewarm-tasks") {
+        config.prewarm_tasks = v.parse().map_err(|e| format!("--prewarm-tasks: {e}"))?;
+    }
+    let log_every = flag(args, "--log-every-s")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--log-every-s: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    config.log_every = (!has(args, "--quiet")).then(|| Duration::from_secs(log_every));
+
+    let transport = TcpTransport::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let handle = Server::start(transport, config.clone());
+    eprintln!(
+        "prfpga-server listening on {} ({} workers, queue bound {})",
+        handle.endpoint(),
+        config.workers,
+        config.queue_bound
+    );
+    // The daemon runs until the process is killed; the handle keeps the
+    // accept loop and worker pool alive.
+    loop {
+        std::thread::park();
+    }
 }

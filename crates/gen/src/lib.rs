@@ -26,5 +26,5 @@ pub mod topology;
 pub use events::{EventConfig, EventTraceGenerator};
 pub use profile::{ImplProfile, TaskKind};
 pub use stats::{instance_stats, InstanceStats};
-pub use suite::{standard_suite, SuiteConfig};
+pub use suite::{service_instance, standard_suite, SuiteConfig};
 pub use topology::{GraphConfig, TaskGraphGenerator, Topology};

@@ -2,9 +2,41 @@
 
 use serde::{Deserialize, Serialize};
 
-use prfpga_model::{Architecture, ProblemInstance};
+use prfpga_model::{Architecture, Platform, ProblemInstance};
 
 use crate::topology::{GraphConfig, TaskGraphGenerator};
+
+/// Resolves a named generated profile `(tasks, seed, platform, cores)` to
+/// its instance — the *canonical* resolution shared by the scheduling
+/// server and its load generator, so a client that regenerates the
+/// profile locally (e.g. to sweep-validate a response) is guaranteed the
+/// byte-identical instance the server scheduled.
+///
+/// `platform` is a platform-catalog name (`None` = `xc7z020`); 1-fabric
+/// resolutions build the classic single-device architecture with the
+/// CLI's default sustained configuration throughput of 400 bits/tick.
+pub fn service_instance(
+    tasks: usize,
+    seed: u64,
+    platform: Option<&str>,
+    cores: usize,
+) -> Result<ProblemInstance, String> {
+    let name = platform.unwrap_or("xc7z020");
+    let mut platform =
+        Platform::by_name(name).ok_or_else(|| format!("unknown platform `{name}`"))?;
+    let architecture = if platform.num_fabrics() == 1 {
+        let mut device = platform.fabrics.pop().expect("one fabric");
+        device.rec_freq = 400;
+        Architecture::new(cores, device)
+    } else {
+        Architecture::on_platform(cores, platform)
+    };
+    Ok(TaskGraphGenerator::new(seed).generate(
+        &format!("svc_t{tasks}_s{seed}"),
+        &GraphConfig::standard(tasks),
+        architecture,
+    ))
+}
 
 /// Configuration of a benchmark suite: `groups` gives the task count of
 /// each group, `graphs_per_group` the number of instances per group.

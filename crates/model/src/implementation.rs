@@ -112,6 +112,13 @@ impl ImplPool {
         &self.impls[id.index()]
     }
 
+    /// Mutable lookup (e.g. rescaling execution times when deriving a
+    /// sibling instance).
+    #[inline]
+    pub fn get_mut(&mut self, id: ImplId) -> &mut Implementation {
+        &mut self.impls[id.index()]
+    }
+
     /// Checked lookup.
     pub fn try_get(&self, id: ImplId) -> Option<&Implementation> {
         self.impls.get(id.index())

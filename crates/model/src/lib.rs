@@ -36,6 +36,7 @@ pub mod instance;
 pub mod platform;
 pub mod resources;
 pub mod schedule;
+pub mod service;
 pub mod taskgraph;
 pub mod time;
 
@@ -49,5 +50,9 @@ pub use instance::ProblemInstance;
 pub use platform::{FabricId, Platform};
 pub use resources::{ResourceKind, ResourceVec, NUM_RESOURCE_KINDS};
 pub use schedule::{Placement, Reconfiguration, Region, RegionId, Schedule, TaskAssignment};
+pub use service::{
+    AlgoChoice, ErrorCode, InstanceSpec, PhaseRow, ScheduleReply, ScheduleRequest, ServiceError,
+    ServiceRequest, ServiceResponse, ServiceStats,
+};
 pub use taskgraph::{EdgeId, TaskGraph, TaskId, TaskNode};
 pub use time::{Time, TimeWindow};

@@ -33,12 +33,13 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use prfpga_baseline::{HeftScheduler, IsKConfig, IsKScheduler};
-use prfpga_bench::{parallel_map, ExecPolicy};
 use prfpga_model::{CancelToken, ProblemInstance, Schedule, Time};
-use prfpga_sched::{PaRScheduler, PaScheduler, SchedError, SchedulerConfig};
+use prfpga_sched::{parallel_map, ExecPolicy};
+use prfpga_sched::{PaRScheduler, PaScheduler, SchedError, SchedWorkspace, SchedulerConfig};
 
 /// One scheduler in the race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -172,6 +173,38 @@ impl PortfolioResult {
     }
 }
 
+/// Pre-warmed per-member scheduler workspaces, so a pooled caller (one
+/// race after another on a server worker thread) runs the whole race
+/// allocation-free in the steady state. Slot `i` always serves member
+/// slot `i`, so PA and PA-R re-hit their own cached base graphs.
+#[derive(Debug, Default)]
+pub struct PortfolioWorkspaces {
+    slots: Vec<SchedWorkspace>,
+}
+
+impl PortfolioWorkspaces {
+    /// Empty pool; slots are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(SchedWorkspace::new());
+        }
+    }
+
+    /// Base-graph reuses summed over member workspaces.
+    pub fn reuses(&self) -> u64 {
+        self.slots.iter().map(SchedWorkspace::reuses).sum()
+    }
+
+    /// Base-graph rebuilds summed over member workspaces.
+    pub fn rebuilds(&self) -> u64 {
+        self.slots.iter().map(SchedWorkspace::rebuilds).sum()
+    }
+}
+
 /// The portfolio driver.
 #[derive(Debug, Clone, Default)]
 pub struct Portfolio {
@@ -192,6 +225,26 @@ impl Portfolio {
     /// producing anything. The returned schedule is sweep-validated in
     /// debug builds.
     pub fn run(&self, inst: &ProblemInstance) -> Result<PortfolioResult, SchedError> {
+        self.run_with_cancel_in(inst, &CancelToken::never(), &mut PortfolioWorkspaces::new())
+    }
+
+    /// [`Portfolio::run`] with the race token layered under a caller-owned
+    /// `parent` and member workspaces drawn from a caller-owned `pool` —
+    /// the server entry point: the parent is the per-request token (itself
+    /// a child of a per-connection token, so a client disconnect reaches
+    /// every member at its next checkpoint), and a worker thread reuses
+    /// one pool across requests so the steady state allocates nothing.
+    ///
+    /// Behaviour is identical to [`Portfolio::run`]: the configured
+    /// deadline is minted as a budget *under* `parent` (whichever fires
+    /// first wins), and a winner lock in first-feasible mode cancels only
+    /// this race, never the parent.
+    pub fn run_with_cancel_in(
+        &self,
+        inst: &ProblemInstance,
+        parent: &CancelToken,
+        pool: &mut PortfolioWorkspaces,
+    ) -> Result<PortfolioResult, SchedError> {
         inst.validate()
             .map_err(|e| SchedError::InvalidInstance(e.to_string()))?;
         let start = Instant::now();
@@ -201,18 +254,29 @@ impl Portfolio {
             self.config.members.clone()
         };
         let race = match self.config.deadline {
-            Some(d) => CancelToken::after(d),
-            None => CancelToken::never(),
+            Some(d) => parent.with_budget(d),
+            None => parent.child(),
         };
 
         // One thread per member; each polls a child of the race token, so
         // the shared deadline — or a winner lock — reaches all of them
-        // while per-member poll counters stay separate.
-        let runs: Vec<(MemberReport, Option<Schedule>, Option<SchedError>)> =
-            parallel_map(&members, ExecPolicy::Threads(members.len()), |_, member| {
+        // while per-member poll counters stay separate. Each member slot
+        // owns its pooled workspace for the duration of the race (the
+        // mutex is uncontended — one lock per item).
+        pool.ensure(members.len());
+        let items: Vec<(Member, Mutex<&mut SchedWorkspace>)> = members
+            .iter()
+            .copied()
+            .zip(pool.slots.iter_mut().map(Mutex::new))
+            .collect();
+        let runs: Vec<(MemberReport, Option<Schedule>, Option<SchedError>)> = parallel_map(
+            &items,
+            ExecPolicy::Threads(items.len()),
+            |_, (member, slot)| {
                 let token = race.child();
                 let t0 = Instant::now();
-                let outcome = run_member(*member, inst, &self.config.sched, &token);
+                let ws = &mut **slot.lock().expect("workspace slot lock");
+                let outcome = run_member(*member, inst, &self.config.sched, &token, ws);
                 let elapsed = t0.elapsed();
                 let (schedule, degraded, deadline_exceeded, error) = match outcome {
                     Ok((s, degraded)) => {
@@ -236,7 +300,8 @@ impl Portfolio {
                     elapsed,
                 };
                 (report, schedule, error)
-            });
+            },
+        );
 
         let mut reports = Vec::with_capacity(runs.len());
         let mut schedules: Vec<Option<Schedule>> = Vec::with_capacity(runs.len());
@@ -294,19 +359,22 @@ impl Portfolio {
     }
 }
 
-/// Runs one member under its child token, returning `(schedule, degraded)`.
+/// Runs one member under its child token in the pooled workspace,
+/// returning `(schedule, degraded)`. IS-k and HEFT have no workspace
+/// variant; their slot stays untouched.
 fn run_member(
     member: Member,
     inst: &ProblemInstance,
     cfg: &SchedulerConfig,
     token: &CancelToken,
+    ws: &mut SchedWorkspace,
 ) -> Result<(Schedule, bool), SchedError> {
     match member {
         Member::Pa => PaScheduler::new(cfg.clone())
-            .schedule_with_cancel(inst, token)
+            .schedule_with_cancel_in(inst, token, ws)
             .map(|r| (r.schedule, r.degraded)),
         Member::PaR => PaRScheduler::new(cfg.clone())
-            .schedule_with_cancel(inst, token)
+            .schedule_with_cancel_in(inst, token, ws)
             .map(|r| (r.schedule, r.degraded)),
         Member::IsK(k) => IsKScheduler::new(IsKConfig {
             k: k.max(1),
@@ -409,6 +477,52 @@ mod tests {
             .unwrap();
         assert_eq!(r.schedule, standalone);
         assert_eq!(r.winner, Member::Pa);
+    }
+
+    #[test]
+    fn pooled_races_match_fresh_workspaces() {
+        let inst = instance(20, 5);
+        let pf = Portfolio::new(PortfolioConfig {
+            sched: iter_capped_config(),
+            ..Default::default()
+        });
+        let base = pf.run(&inst).unwrap();
+
+        // One pool, repeated races: byte-identical winners, and the PA /
+        // PA-R slots start rewinding instead of rebuilding.
+        let mut pool = PortfolioWorkspaces::new();
+        for round in 0..3 {
+            let r = pf
+                .run_with_cancel_in(&inst, &CancelToken::never(), &mut pool)
+                .unwrap();
+            assert_eq!(r.schedule, base.schedule, "round {round}");
+            assert_eq!(r.winner, base.winner, "round {round}");
+        }
+        assert!(pool.rebuilds() > 0);
+        assert!(pool.reuses() > 0, "pooled races must rewind, not rebuild");
+    }
+
+    #[test]
+    fn cancelled_parent_token_reaches_the_race() {
+        let inst = instance(20, 5);
+        let pf = Portfolio::new(PortfolioConfig {
+            sched: iter_capped_config(),
+            ..Default::default()
+        });
+        let parent = CancelToken::never();
+        parent.cancel();
+        let mut pool = PortfolioWorkspaces::new();
+        let r = pf.run_with_cancel_in(&inst, &parent, &mut pool).unwrap();
+        validate_schedule_sweep(&inst, &r.schedule).expect("valid");
+        assert!(
+            r.degraded,
+            "with the parent already fired every member is cut short"
+        );
+        // The pool survives the cancellation and serves a clean race next.
+        let clean = pf
+            .run_with_cancel_in(&inst, &CancelToken::never(), &mut pool)
+            .unwrap();
+        assert_eq!(clean.schedule, pf.run(&inst).unwrap().schedule);
     }
 
     #[test]

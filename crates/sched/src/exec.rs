@@ -1,0 +1,224 @@
+//! Parallel suite execution.
+//!
+//! The experiment binaries fan independent work items (one instance
+//! running its full set of algorithms, one sweep point, …) over a pool of
+//! scoped worker threads that pull items from a shared queue. Results are
+//! merged back **by item index**, so the output of [`parallel_map`] is
+//! identical to the serial `items.iter().map(f)` regardless of thread
+//! count or completion order — schedules, makespans and report tables do
+//! not depend on the execution policy, only wall-clock measurements do.
+//!
+//! Policy selection: `--threads N` / `--serial` on any experiment binary,
+//! the `PRFPGA_THREADS` environment variable, or the machine's available
+//! parallelism, in that order of precedence. Timing-sensitive studies
+//! (Table I wall-clocks, the Fig. 6 convergence traces) are most faithful
+//! under `--serial`, since concurrent workers contend for cores; the
+//! parallel default is for fast qualitative runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// How a suite run distributes its work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Run every item on the calling thread, in order.
+    Serial,
+    /// Fan items over this many worker threads (at least 1).
+    Threads(usize),
+}
+
+impl ExecPolicy {
+    /// Worker count this policy resolves to.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Threads(n) => n.max(1),
+        }
+    }
+
+    /// The machine's available parallelism (1 when unknown).
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Policy from `PRFPGA_THREADS` (`serial`, or a thread count), falling
+    /// back to the available parallelism.
+    ///
+    /// A meaningless value — `0`, or anything that parses as neither
+    /// `serial` nor a number — falls back to the available parallelism
+    /// with a warning on stderr; it never panics and never silently means
+    /// "serial".
+    pub fn from_env() -> ExecPolicy {
+        let var = std::env::var("PRFPGA_THREADS").ok();
+        let (policy, warning) = Self::from_env_value(var.as_deref());
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
+        policy
+    }
+
+    /// The decision behind [`ExecPolicy::from_env`], side-effect free:
+    /// maps the raw variable value (`None` = unset) to a policy plus the
+    /// warning to print, if the value was meaningless.
+    pub fn from_env_value(value: Option<&str>) -> (ExecPolicy, Option<String>) {
+        match value {
+            None => (ExecPolicy::Threads(Self::default_threads()), None),
+            Some("serial") | Some("SERIAL") => (ExecPolicy::Serial, None),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n > 0 => (ExecPolicy::Threads(n), None),
+                Ok(_) | Err(_) => (
+                    ExecPolicy::Threads(Self::default_threads()),
+                    Some(format!(
+                        "PRFPGA_THREADS={s:?} is not `serial` or a positive thread \
+                         count; using the available parallelism instead"
+                    )),
+                ),
+            },
+        }
+    }
+
+    /// Policy from command-line arguments: `--serial` wins, then
+    /// `--threads N`, then [`ExecPolicy::from_env`]. Errors on a
+    /// malformed or missing `--threads` value.
+    pub fn from_args(args: &[String]) -> Result<ExecPolicy, String> {
+        if args.iter().any(|a| a == "--serial") {
+            return Ok(ExecPolicy::Serial);
+        }
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            let v = args
+                .get(i + 1)
+                .ok_or("--threads requires a value")?
+                .parse::<usize>()
+                .map_err(|e| format!("--threads: {e}"))?;
+            if v == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            return Ok(ExecPolicy::Threads(v));
+        }
+        Ok(Self::from_env())
+    }
+}
+
+/// Maps `f` over `items` under `policy`, returning results in item order.
+///
+/// Workers claim items through a shared atomic cursor (work stealing
+/// degenerates to in-order pulls under no contention) and write each
+/// result into the slot of its item, so the merged output is independent
+/// of scheduling. A panic in `f` propagates to the caller after the other
+/// workers drain.
+pub fn parallel_map<T, R, F>(items: &[T], policy: ExecPolicy, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = policy.threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("suite executor worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every claimed slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Threads(2),
+            ExecPolicy::Threads(8),
+        ] {
+            let out = parallel_map(&items, policy, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, ExecPolicy::Threads(4), |_, &x| x).is_empty());
+        assert_eq!(
+            parallel_map(&[7u32], ExecPolicy::Threads(4), |_, &x| x),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn policy_thread_counts() {
+        assert_eq!(ExecPolicy::Serial.threads(), 1);
+        assert_eq!(ExecPolicy::Threads(0).threads(), 1);
+        assert_eq!(ExecPolicy::Threads(5).threads(), 5);
+        assert!(ExecPolicy::default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_values_never_panic_and_warn_on_nonsense() {
+        let auto = ExecPolicy::Threads(ExecPolicy::default_threads());
+        // Unset and well-formed values: no warning.
+        assert_eq!(ExecPolicy::from_env_value(None), (auto, None));
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("serial")),
+            (ExecPolicy::Serial, None)
+        );
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("SERIAL")),
+            (ExecPolicy::Serial, None)
+        );
+        assert_eq!(
+            ExecPolicy::from_env_value(Some("6")),
+            (ExecPolicy::Threads(6), None)
+        );
+        // Meaningless values: fall back to available parallelism, warn.
+        for bad in ["0", "-3", "lots", "", " 4", "4 "] {
+            let (policy, warning) = ExecPolicy::from_env_value(Some(bad));
+            assert_eq!(policy, auto, "PRFPGA_THREADS={bad:?}");
+            let warning = warning.expect("nonsense must warn");
+            assert!(warning.contains("PRFPGA_THREADS"), "{warning}");
+        }
+    }
+
+    #[test]
+    fn args_parsing() {
+        let to_args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            ExecPolicy::from_args(&to_args(&["--serial"])),
+            Ok(ExecPolicy::Serial)
+        );
+        assert_eq!(
+            ExecPolicy::from_args(&to_args(&["--threads", "3"])),
+            Ok(ExecPolicy::Threads(3))
+        );
+        assert_eq!(
+            ExecPolicy::from_args(&to_args(&["--serial", "--threads", "3"])),
+            Ok(ExecPolicy::Serial)
+        );
+        assert!(ExecPolicy::from_args(&to_args(&["--threads"])).is_err());
+        assert!(ExecPolicy::from_args(&to_args(&["--threads", "x"])).is_err());
+        assert!(ExecPolicy::from_args(&to_args(&["--threads", "0"])).is_err());
+    }
+}

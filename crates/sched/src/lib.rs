@@ -40,6 +40,7 @@ pub mod commit;
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod exec;
 pub mod metrics;
 pub mod phases;
 pub mod randomized;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use config::{CostPolicy, OrderingPolicy, SchedulerConfig};
 pub use driver::{PaResult, PaScheduler};
 pub use error::SchedError;
+pub use exec::{parallel_map, ExecPolicy};
 pub use repair::{RepairConfig, RepairEngine, RepairError, RepairOutcome, RepairStats};
 // The cancellation kernel lives in `prfpga-model` (so leaf crates can accept
 // tokens without a dependency cycle) and is re-exported here as the

@@ -68,8 +68,15 @@ pub struct SchedWorkspace {
     base: BaseGraph,
     /// Implementation choice the cached `base_cpm` was computed under.
     base_choice: Vec<ImplId>,
-    /// Initial CPM analysis of the base graph under `base_choice`; reused
-    /// runs with the same choice restore it by copy instead of recomputing.
+    /// Durations the cached `base_cpm` was computed from. `base_choice`
+    /// alone is not a valid cache key across instances: `ImplId`s are
+    /// per-instance pool indices, so a pooled worker can see two
+    /// instances with identical topology and identical chosen indices
+    /// whose pools carry different execution times.
+    base_durations: Vec<Time>,
+    /// Initial CPM analysis of the base graph under `base_choice` /
+    /// `base_durations`; reused runs with the same choice restore it by
+    /// copy instead of recomputing.
     base_cpm: CpmAnalysis,
     /// Core-lane reservation kernel recycled into [`SchedState::timeline`].
     timeline: Timeline,
@@ -135,6 +142,7 @@ impl SchedWorkspace {
                 checkpoint: Some(self.dag.checkpoint()),
             };
             self.base_choice.clear();
+            self.base_durations.clear();
             self.csr_is_base = false;
             // Re-targeting at a new instance is the natural point to stop
             // pinning DFS scratch sized for the previous (possibly much
@@ -281,11 +289,12 @@ impl<'a> SchedState<'a> {
 
         let mut cpm = mem::take(&mut ws.cpm);
         let mut cpm_scratch = mem::take(&mut ws.cpm_scratch);
-        if reused && ws.base_choice == impl_choice {
-            // Same base graph, same implementation choice: the initial
-            // analysis is identical to the cached one by determinism.
-            // The scratch's topological order stays valid — the rollback
-            // only removed arcs, which cannot break an order.
+        if reused && ws.base_choice == impl_choice && ws.base_durations == durations {
+            // Same base graph, same implementation choice, same execution
+            // times: the initial analysis is identical to the cached one
+            // by determinism. The scratch's topological order stays valid
+            // — the rollback only removed arcs, which cannot break an
+            // order.
             cpm.clone_from(&ws.base_cpm);
         } else {
             if fast_graph {
@@ -295,6 +304,7 @@ impl<'a> SchedState<'a> {
             }
             ws.base_choice.clear();
             ws.base_choice.extend_from_slice(&impl_choice);
+            ws.base_durations.clone_from(&durations);
             ws.base_cpm.clone_from(&cpm);
         }
 

@@ -1,0 +1,42 @@
+//! # prfpga-server
+//!
+//! Scheduling-as-a-service: a long-running daemon that accepts scheduling
+//! requests over newline-delimited JSON (TCP, or an in-process transport
+//! for tests), runs them on a fixed pool of worker threads with
+//! pre-warmed [`prfpga_sched::SchedWorkspace`]s, and answers with
+//! sweep-validated schedules plus per-request diagnostics.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`frame`] — newline framing with an oversized-line bound and resync;
+//! * [`transport`] — the [`transport::Transport`] trait with TCP and
+//!   in-process implementations (tests need no socket);
+//! * [`queue`] — the bounded request queue between connection readers and
+//!   workers; admission control turns "full" into a typed rejection;
+//! * [`metrics`] — counters, p50/p99 latency window, EWMA service time;
+//! * the server core ([`Server`] / [`ServerHandle`]) — accept loop,
+//!   per-connection reader threads, worker pool.
+//!
+//! Cancellation plumbing: each connection owns a
+//! [`prfpga_model::CancelToken`]; every admitted request runs under a
+//! child of it carrying the request deadline. A client disconnect cancels
+//! the connection token, so in-flight work for that client stops at its
+//! next checkpoint and the worker moves on with a rewound workspace.
+//!
+//! The request/response vocabulary lives in
+//! [`prfpga_model::service`], shared with the load generator and the CLI.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod transport;
+
+mod worker;
+
+pub use frame::{Frame, LineFramer};
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use transport::{in_proc, tcp_client, ClientConn, InProcConnector, TcpTransport, Transport};

@@ -1,0 +1,169 @@
+//! Server-level metrics: counters, a bounded latency window for
+//! percentiles, and an EWMA service-time estimate feeding admission
+//! control.
+//!
+//! Everything is lock-free on the hot path except the latency ring (one
+//! short mutexed write per completed request); snapshots sort a copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use prfpga_model::service::ServiceStats;
+
+/// Retained latency samples for the p50/p99 window.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared server metrics; one instance per server, `Arc`'d into every
+/// connection and worker thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Well-formed requests read off connections.
+    pub received: AtomicU64,
+    /// Lines rejected before admission.
+    pub malformed: AtomicU64,
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Admission rejections: queue full.
+    pub rejected_queue_full: AtomicU64,
+    /// Admission rejections: deadline already unmeetable.
+    pub rejected_unmeetable: AtomicU64,
+    /// Requests fully served.
+    pub completed: AtomicU64,
+    /// Requests abandoned on client disconnect.
+    pub cancelled: AtomicU64,
+    /// Completions within their declared deadline.
+    pub deadline_met: AtomicU64,
+    /// Completions past their declared deadline.
+    pub deadline_missed: AtomicU64,
+    /// Workspace rewinds summed over workers.
+    pub ws_reuses: AtomicU64,
+    /// Workspace rebuilds summed over workers.
+    pub ws_rebuilds: AtomicU64,
+    /// EWMA of service time in microseconds (0 = no sample yet).
+    ewma_us: AtomicU64,
+    /// Completed-request latencies, a bounded ring.
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl ServerMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request: latency sample, EWMA update, and
+    /// deadline accounting when the request declared one.
+    pub fn record_completion(&self, service_us: u64, deadline_met: Option<bool>) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match deadline_met {
+            Some(true) => self.deadline_met.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.deadline_missed.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        // ewma <- 7/8 ewma + 1/8 sample; seeded by the first sample.
+        let prev = self.ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            service_us.max(1)
+        } else {
+            (prev - prev / 8 + service_us / 8).max(1)
+        };
+        self.ewma_us.store(next, Ordering::Relaxed);
+
+        let mut ring = self.latencies.lock().expect("latency lock");
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(service_us);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = service_us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// EWMA service time in microseconds; 0 until the first completion.
+    pub fn ewma_us(&self) -> u64 {
+        self.ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as the wire-level stats payload; queue gauges come from
+    /// the caller (the queue owns them).
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_peak: usize,
+        queue_bound: usize,
+    ) -> ServiceStats {
+        let (p50_us, p99_us) = {
+            let ring = self.latencies.lock().expect("latency lock");
+            percentiles(&ring.samples)
+        };
+        ServiceStats {
+            received: self.received.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_unmeetable: self.rejected_unmeetable.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_met: self.deadline_met.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+            queue_peak: queue_peak as u64,
+            queue_bound: queue_bound as u64,
+            p50_us,
+            p99_us,
+            workspace_reuses: self.ws_reuses.load(Ordering::Relaxed),
+            workspace_rebuilds: self.ws_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `(p50, p99)` of the retained window; zeros when empty.
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let at = |pct: usize| sorted[(sorted.len() - 1) * pct / 100];
+    (at(50), at(99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_window() {
+        let m = ServerMetrics::new();
+        for us in 1..=100u64 {
+            m.record_completion(us, Some(us <= 95));
+        }
+        let s = m.snapshot(3, 5, 8);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.deadline_met, 95);
+        assert_eq!(s.deadline_missed, 5);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.queue_peak, 5);
+        assert_eq!(s.queue_bound, 8);
+        assert_eq!(s.deadline_hit_rate_pct(), 95.0);
+        assert!(m.ewma_us() > 0);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let m = ServerMetrics::new();
+        for us in 0..(LATENCY_WINDOW as u64 * 2) {
+            m.record_completion(us, None);
+        }
+        let ring = m.latencies.lock().unwrap();
+        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
+    }
+}

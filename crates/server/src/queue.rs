@@ -1,0 +1,128 @@
+//! Bounded request queue between connection threads and the worker pool.
+//!
+//! `std::sync::{Mutex, Condvar}` rather than the parking_lot shim: the
+//! shim carries no condition variable, and the queue is the only place
+//! the server blocks on one.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    peak: usize,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: producers *never block* — admission control
+/// turns a full queue into a typed rejection — and consumers block until
+/// a job or shutdown arrives.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    bound: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `bound` pending jobs.
+    pub fn new(bound: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                peak: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// Enqueues `job`, or hands it back when the queue is full or closed.
+    pub fn try_push(&self, job: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.jobs.len() >= self.bound {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        inner.peak = inner.peak.max(inner.jobs.len());
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers are rejected, consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently pending.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+
+    /// High-water mark of [`JobQueue::depth`].
+    pub fn peak(&self) -> usize {
+        self.inner.lock().expect("queue lock").peak
+    }
+
+    /// The admission bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_pop_and_peak() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "bound enforced");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects producers");
+        assert_eq!(q.pop(), Some(7), "drain continues after close");
+        assert_eq!(q.pop(), None);
+
+        // A blocked consumer wakes up on close.
+        let q2 = Arc::new(JobQueue::<u32>::new(4));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Connection transports: real TCP and an in-process pipe pair.
+//!
+//! The server core is written against the [`Transport`] trait, so the
+//! whole service-level test pyramid (soak, protocol corpus, disconnect
+//! cancellation) runs without opening a socket: [`in_proc`] hands out a
+//! connector whose byte streams behave like a TCP connection, including
+//! EOF on client drop — which is exactly the signal the server turns into
+//! cancellation of in-flight work.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::time::Duration;
+
+/// One accepted connection: a blocking byte reader (EOF on client close)
+/// and a writer for responses.
+pub struct Connection {
+    /// Request byte stream.
+    pub reader: Box<dyn Read + Send>,
+    /// Response byte stream.
+    pub writer: Box<dyn Write + Send>,
+}
+
+/// A connection source the server accepts from.
+pub trait Transport: Send {
+    /// Waits up to `timeout` for the next connection; `Ok(None)` on
+    /// timeout, `Err` when the transport is closed for good.
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Connection>>;
+
+    /// Human-readable endpoint (log lines).
+    fn endpoint(&self) -> String;
+}
+
+// --- TCP. ----------------------------------------------------------------
+
+/// TCP transport: a non-blocking listener polled by the accept loop.
+pub struct TcpTransport {
+    listener: TcpListener,
+}
+
+impl TcpTransport {
+    /// Binds `addr` (e.g. `127.0.0.1:7070`; port 0 picks a free port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpTransport { listener })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Connection>> {
+        // Poll the non-blocking listener: accept timeouts are not part of
+        // the std socket API, and the granularity here only delays new
+        // connections, never requests on established ones.
+        let slice = Duration::from_millis(5).min(timeout);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true).ok();
+                    let reader = stream.try_clone()?;
+                    return Ok(Some(Connection {
+                        reader: Box::new(reader),
+                        writer: Box::new(stream),
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(slice);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        self.listener
+            .local_addr()
+            .map_or_else(|_| "tcp:?".into(), |a| format!("tcp:{a}"))
+    }
+}
+
+/// A client-side handle to a TCP connection of the server, split into the
+/// same reader/writer shape the in-process client uses.
+pub fn tcp_client(addr: impl ToSocketAddrs) -> io::Result<ClientConn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let reader = stream.try_clone()?;
+    Ok(ClientConn {
+        reader: Box::new(reader),
+        writer: Box::new(stream),
+    })
+}
+
+// --- In-process pipes. ---------------------------------------------------
+
+/// Reader half of a byte-chunk channel; blocks on `read` until bytes
+/// arrive and reports EOF once every sender is dropped.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                // All senders dropped: clean EOF, like a closed socket.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Writer half of a byte-chunk channel; `write` fails with `BrokenPipe`
+/// once the reader is gone — the signal the server counts as a client
+/// disconnect.
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))?;
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-process duplex pipe: `(a, b)` where bytes written to `a` are read
+/// from `b` and vice versa.
+fn pipe() -> (PipeReader, PipeWriter) {
+    let (tx, rx) = mpsc::channel();
+    (
+        PipeReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        },
+        PipeWriter { tx },
+    )
+}
+
+/// A client's end of a connection (TCP or in-process): write requests,
+/// read responses. Dropping it closes the connection — the server side
+/// observes EOF.
+pub struct ClientConn {
+    /// Response byte stream.
+    pub reader: Box<dyn Read + Send>,
+    /// Request byte stream.
+    pub writer: Box<dyn Write + Send>,
+}
+
+impl ClientConn {
+    /// Sends one request line (appends the newline).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Blocks for the next newline-terminated response line (newline
+    /// stripped); `Ok(None)` on EOF.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.reader.read(&mut byte)? {
+                0 => {
+                    return if line.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "mid-line EOF"))
+                    };
+                }
+                _ => {
+                    if byte[0] == b'\n' {
+                        return String::from_utf8(line)
+                            .map(Some)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                    }
+                    line.push(byte[0]);
+                }
+            }
+        }
+    }
+}
+
+/// Server side of the in-process transport.
+pub struct InProcTransport {
+    rx: Receiver<Connection>,
+    label: String,
+}
+
+/// Client factory for an [`InProcTransport`]; clone-free, call
+/// [`InProcConnector::connect`] once per simulated client.
+pub struct InProcConnector {
+    tx: SyncSender<Connection>,
+}
+
+impl InProcConnector {
+    /// Opens a new in-process connection to the server.
+    pub fn connect(&self) -> io::Result<ClientConn> {
+        let (server_reader, client_writer) = pipe();
+        let (client_reader, server_writer) = pipe();
+        self.tx
+            .try_send(Connection {
+                reader: Box::new(server_reader),
+                writer: Box::new(server_writer),
+            })
+            .map_err(|e| match e {
+                TrySendError::Full(_) => {
+                    io::Error::new(io::ErrorKind::WouldBlock, "connection backlog full")
+                }
+                TrySendError::Disconnected(_) => {
+                    io::Error::new(io::ErrorKind::ConnectionRefused, "server stopped")
+                }
+            })?;
+        Ok(ClientConn {
+            reader: Box::new(client_reader),
+            writer: Box::new(client_writer),
+        })
+    }
+}
+
+/// Creates a connected in-process transport pair: the connector mints
+/// client connections, the transport hands them to the server's accept
+/// loop.
+pub fn in_proc() -> (InProcConnector, InProcTransport) {
+    let (tx, rx) = mpsc::sync_channel(64);
+    (
+        InProcConnector { tx },
+        InProcTransport {
+            rx,
+            label: "in-proc".into(),
+        },
+    )
+}
+
+impl Transport for InProcTransport {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Connection>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(conn) => Ok(Some(conn)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "connector dropped",
+            )),
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_proc_round_trip_and_eof_on_drop() {
+        let (connector, mut transport) = in_proc();
+        let mut client = connector.connect().unwrap();
+        let mut conn = transport
+            .accept(Duration::from_secs(1))
+            .unwrap()
+            .expect("connection pending");
+
+        client.send_line("hello").unwrap();
+        let mut buf = [0u8; 6];
+        conn.reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello\n");
+
+        conn.writer.write_all(b"world\n").unwrap();
+        assert_eq!(client.recv_line().unwrap().as_deref(), Some("world"));
+
+        drop(client);
+        let mut rest = [0u8; 8];
+        assert_eq!(conn.reader.read(&mut rest).unwrap(), 0, "EOF after drop");
+        assert!(
+            conn.writer.write_all(b"x").is_err(),
+            "write to dropped peer"
+        );
+    }
+
+    #[test]
+    fn in_proc_accept_times_out_without_clients() {
+        let (_connector, mut transport) = in_proc();
+        let got = transport.accept(Duration::from_millis(10)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let mut transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr().unwrap();
+        let mut client = tcp_client(addr).unwrap();
+        let mut conn = transport
+            .accept(Duration::from_secs(2))
+            .unwrap()
+            .expect("client connected");
+        client.send_line("ping").unwrap();
+        let mut buf = [0u8; 5];
+        conn.reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping\n");
+        conn.writer.write_all(b"pong\n").unwrap();
+        assert_eq!(client.recv_line().unwrap().as_deref(), Some("pong"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared plumbing for the service-level test pyramid: start an
+//! in-process server, exchange request/response lines, and build valid
+//! request lines from the typed vocabulary.
+
+#![allow(dead_code)]
+
+use prfpga_model::service::{
+    AlgoChoice, ErrorCode, InstanceSpec, ScheduleReply, ScheduleRequest, ServiceRequest,
+    ServiceResponse, ServiceStats,
+};
+use prfpga_model::ScheduleEvent;
+use prfpga_server::{in_proc, ClientConn, InProcConnector, Server, ServerConfig, ServerHandle};
+
+/// A quiet in-process server config: explicit worker count, no stats log
+/// line, prewarm kept small so tests stay fast but the warm path runs.
+pub fn quiet_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        prewarm_tasks: 0,
+        log_every: None,
+        ..ServerConfig::default()
+    }
+}
+
+/// Starts an in-process server; the connector mints client connections.
+pub fn start(config: ServerConfig) -> (InProcConnector, ServerHandle) {
+    let (connector, transport) = in_proc();
+    let handle = Server::start(transport, config);
+    (connector, handle)
+}
+
+/// Parses the next response line off the connection.
+pub fn recv(client: &mut ClientConn) -> ServiceResponse {
+    let line = client
+        .recv_line()
+        .expect("read response")
+        .expect("response before EOF");
+    serde_json::from_str(&line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e:?}"))
+}
+
+/// Sends one raw line and parses the single response it elicits.
+pub fn roundtrip(client: &mut ClientConn, line: &str) -> ServiceResponse {
+    client.send_line(line).expect("send request");
+    recv(client)
+}
+
+/// Builds the wire line for a generated-instance schedule request.
+pub fn gen_request(
+    id: u64,
+    algo: AlgoChoice,
+    tasks: usize,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    budget_ms: Option<u64>,
+) -> String {
+    request_line(&ScheduleRequest {
+        id,
+        algo,
+        instance: InstanceSpec::Generated {
+            tasks,
+            seed,
+            platform: None,
+            cores: 2,
+        },
+        deadline_ms,
+        budget_ms,
+        events: Vec::new(),
+    })
+}
+
+/// Builds the wire line for a repair request with an event list.
+pub fn repair_request(
+    id: u64,
+    tasks: usize,
+    seed: u64,
+    budget_ms: Option<u64>,
+    events: Vec<ScheduleEvent>,
+) -> String {
+    request_line(&ScheduleRequest {
+        id,
+        algo: AlgoChoice::Repair,
+        instance: InstanceSpec::Generated {
+            tasks,
+            seed,
+            platform: None,
+            cores: 2,
+        },
+        deadline_ms: None,
+        budget_ms,
+        events,
+    })
+}
+
+/// Serializes a typed schedule request to its wire line.
+pub fn request_line(req: &ScheduleRequest) -> String {
+    serde_json::to_string(&ServiceRequest::Schedule(Box::new(req.clone())))
+        .expect("requests serialize")
+}
+
+/// Unwraps an `ok` response, panicking with the full payload otherwise.
+pub fn expect_ok(resp: ServiceResponse) -> ScheduleReply {
+    match resp {
+        ServiceResponse::Ok(reply) => *reply,
+        other => panic!("expected ok response, got {other:?}"),
+    }
+}
+
+/// Asserts the response is a typed error with `code`.
+pub fn expect_err(resp: ServiceResponse, code: ErrorCode) {
+    match resp {
+        ServiceResponse::Err { error, .. } => {
+            assert_eq!(error.code, code, "wrong error code: {}", error.message)
+        }
+        other => panic!("expected {code:?} error, got {other:?}"),
+    }
+}
+
+/// Fetches a stats snapshot over the wire (also exercises the `stats` op).
+pub fn fetch_stats(client: &mut ClientConn, id: u64) -> ServiceStats {
+    match roundtrip(client, &format!("{{\"op\":\"stats\",\"id\":{id}}}")) {
+        ServiceResponse::Stats { id: got, stats } => {
+            assert_eq!(got, id);
+            stats
+        }
+        other => panic!("expected stats response, got {other:?}"),
+    }
+}
+
+/// Pings the server and asserts the pong echo — the liveness probe the
+/// protocol corpus runs after every hostile line.
+pub fn assert_alive(client: &mut ClientConn, id: u64) {
+    match roundtrip(client, &format!("{{\"op\":\"ping\",\"id\":{id}}}")) {
+        ServiceResponse::Pong { id: got } => assert_eq!(got, id),
+        other => panic!("expected pong, got {other:?}"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Cancellation on client disconnect: dropping a client mid-request must
+//! fire the worker's cancel token (the in-flight search stops well before
+//! its requested budget), the skipped/undeliverable work must be counted
+//! as cancelled, and the worker's rewound workspace must answer the next
+//! request byte-identically to a fresh server.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{expect_ok, gen_request, quiet_config, roundtrip, start};
+use prfpga_model::service::AlgoChoice;
+use prfpga_sim::validate_schedule_sweep;
+
+/// The victim's search budget: without cancellation the single worker
+/// would be pinned for this long and the probe below could not answer
+/// quickly. The probe's latency bound is the proof the token fired.
+const VICTIM_BUDGET_MS: u64 = 60_000;
+const PROBE_BOUND: Duration = Duration::from_secs(20);
+
+#[test]
+fn client_disconnect_cancels_in_flight_work_and_worker_stays_clean() {
+    let (connector, handle) = start(quiet_config(1));
+
+    // The victim pipelines two requests: a PA-R run with a 60 s budget
+    // (in flight when the client vanishes) and a second request that will
+    // still be queued — covering both cancellation paths: the fired
+    // token on the running job and the liveness skip on the queued one.
+    let mut victim = connector.connect().expect("victim connect");
+    victim
+        .send_line(&gen_request(
+            1,
+            AlgoChoice::Par,
+            24,
+            3,
+            None,
+            Some(VICTIM_BUDGET_MS),
+        ))
+        .unwrap();
+    victim
+        .send_line(&gen_request(2, AlgoChoice::Pa, 24, 3, None, None))
+        .unwrap();
+
+    // Wait until the worker has actually popped the first job (admitted
+    // twice, at most one still queued), then give it a beat to be deep in
+    // the search before the disconnect.
+    let t0 = Instant::now();
+    loop {
+        let stats = handle.stats();
+        if stats.admitted == 2 && stats.queue_depth <= 1 {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "jobs never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    drop(victim);
+
+    // The probe can only be answered once the worker is free again: its
+    // latency is bounded far below the victim's budget only if the
+    // disconnect actually cancelled the running search.
+    let mut probe = connector.connect().expect("probe connect");
+    let probe_line = gen_request(3, AlgoChoice::Pa, 18, 7, None, None);
+    let sent = Instant::now();
+    let reply = expect_ok(roundtrip(&mut probe, &probe_line));
+    let latency = sent.elapsed();
+    assert!(
+        latency < PROBE_BOUND,
+        "probe took {latency:?}; the worker was still burning the victim's budget"
+    );
+    assert_eq!(reply.id, 3);
+    let inst = prfpga_gen::service_instance(18, 7, None, 2).unwrap();
+    validate_schedule_sweep(&inst, &reply.schedule).expect("probe schedule sweeps clean");
+
+    // Both victim jobs were counted cancelled; only the probe completed.
+    // The probe's response is written before its completion is recorded,
+    // so poll until both counters have landed.
+    let t1 = Instant::now();
+    let stats = loop {
+        let stats = handle.stats();
+        if stats.cancelled >= 2 && stats.completed >= 1 {
+            break stats;
+        }
+        assert!(
+            t1.elapsed() < Duration::from_secs(5),
+            "counters stuck at cancelled {} completed {} (expected 2 / 1)",
+            stats.cancelled,
+            stats.completed
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(
+        stats.cancelled, 2,
+        "one in-flight + one queued cancellation"
+    );
+    assert_eq!(stats.completed, 1, "only the probe completed");
+    assert_eq!(stats.admitted, 3);
+    drop(probe);
+    handle.stop();
+
+    // The worker's workspace was rewound, not poisoned: a fresh server
+    // answers the identical probe byte-identically.
+    let (connector, fresh) = start(quiet_config(1));
+    let mut client = connector.connect().expect("fresh connect");
+    let fresh_reply = expect_ok(roundtrip(&mut client, &probe_line));
+    assert_eq!(
+        serde_json::to_string(&fresh_reply.schedule).unwrap(),
+        serde_json::to_string(&reply.schedule).unwrap(),
+        "post-cancellation answer differs from a fresh-process run"
+    );
+    drop(client);
+    fresh.stop();
+}
